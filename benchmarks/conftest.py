@@ -1,0 +1,39 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one table or figure of the paper and
+prints it next to the paper's numbers.  Scale knobs:
+
+* ``REPRO_BENCH_RUNS`` — trials averaged per table row (default 10;
+  the paper used 250 for Tables 4-5).
+* ``REPRO_BENCH_N`` — population for the uniform-network tables
+  (default 1000, as in the paper).
+
+Benchmarks run each driver once (``rounds=1``): the interesting output
+is the table itself plus the wall-clock cost of regenerating it.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def bench_runs() -> int:
+    return int(os.environ.get("REPRO_BENCH_RUNS", "10"))
+
+
+@pytest.fixture(scope="session")
+def bench_n() -> int:
+    return int(os.environ.get("REPRO_BENCH_N", "1000"))
+
+
+@pytest.fixture(scope="session")
+def cin_network():
+    from repro.topology.cin import build_cin_like_topology
+
+    return build_cin_like_topology()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a table generator exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

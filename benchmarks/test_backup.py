@@ -1,0 +1,73 @@
+"""Section 1.5: redistribution cost when the initial distribution
+reached only half the sites.
+
+Paper: redistribute-by-mail costs O(n^2) messages in this worst case
+(the Clearinghouse had to disable it: 90,000 messages a night for a
+300-site domain); making the update a hot rumor again costs a small
+multiple of n and still guarantees delivery thanks to the anti-entropy
+backup.
+"""
+
+from conftest import run_once
+from repro.experiments.backup_scenarios import compare_recovery_strategies
+from repro.experiments.report import format_table
+
+
+def test_recovery_cost_comparison(benchmark, bench_runs):
+    n = 150
+    results = run_once(
+        benchmark, compare_recovery_strategies, n=n, initial_coverage=0.5
+    )
+    print()
+    print(
+        format_table(
+            ["strategy", "update sends", "mail messages", "cycles", "complete"],
+            [
+                (r.strategy, r.update_sends, r.mail_messages,
+                 r.cycles_to_converge, r.converged)
+                for r in results
+            ],
+            title=f"Section 1.5 recovery from 50% coverage, n={n}",
+        )
+    )
+    by_name = {r.strategy: r for r in results}
+    conservative = by_name["conservative"]
+    hot_rumor = by_name["hot-rumor"]
+    mail = by_name["redistribute-mail"]
+    # All three strategies eventually deliver everywhere.
+    assert conservative.converged and hot_rumor.converged and mail.converged
+    # Mail redistribution explodes toward O(n^2)...
+    assert mail.mail_messages > 3 * n
+    # ... while hot-rumor recovery stays within a small multiple of n.
+    assert hot_rumor.update_sends < 6 * n
+    assert mail.mail_messages > 3 * hot_rumor.update_sends
+
+
+def test_worst_case_coverage_sweep(benchmark):
+    """Half coverage is the worst case for mail redistribution."""
+    from repro.experiments.backup_scenarios import recovery_cost_experiment
+    from repro.protocols.backup import RecoveryStrategy
+
+    coverages = (0.1, 0.5, 0.9)
+
+    def run():
+        return [
+            recovery_cost_experiment(
+                n=100, initial_coverage=c,
+                strategy=RecoveryStrategy.REDISTRIBUTE_MAIL, seed=77,
+            )
+            for c in coverages
+        ]
+
+    results = run_once(benchmark, run)
+    print()
+    print(
+        format_table(
+            ["coverage", "mail messages"],
+            [(c, r.mail_messages) for c, r in zip(coverages, results)],
+            title="Mail redistribution cost vs initial coverage",
+        )
+    )
+    # 50% coverage costs at least as much as the lopsided cases.
+    assert results[1].mail_messages >= results[0].mail_messages * 0.5
+    assert results[1].mail_messages >= results[2].mail_messages

@@ -1,0 +1,76 @@
+"""Section 2: deletion, death certificates, dormancy, reinstatement.
+
+Four scenario benchmarks mirror the section's arguments:
+
+1. naive deletion is resurrected; a certificate fixes it;
+2. a fixed threshold tau1 reopens the window for old copies;
+3. dormant certificates at r retention sites close it again
+   (the paper's "immune reaction"), extending protected history by
+   (tau - tau1) n / r for equal space;
+4. reactivation via the activation timestamp never cancels a
+   legitimate reinstatement.
+"""
+
+from conftest import run_once
+from repro.experiments.deathcert_scenarios import (
+    dormant_certificate_scenario,
+    fixed_threshold_scenario,
+    reinstatement_scenario,
+    resurrection_scenario,
+    space_comparison,
+)
+from repro.experiments.report import format_table
+
+
+def test_resurrection_vs_certificate(benchmark):
+    naive, certified = run_once(
+        benchmark,
+        lambda: (
+            resurrection_scenario(use_certificate=False),
+            resurrection_scenario(use_certificate=True),
+        ),
+    )
+    print()
+    print(
+        format_table(
+            ["scheme", "item resurrected?"],
+            [
+                (naive.description, naive.resurrected),
+                (certified.description, certified.resurrected),
+            ],
+            title="Scenario 1: deleting without vs with a death certificate",
+        )
+    )
+    assert naive.resurrected
+    assert not certified.resurrected
+
+
+def test_fixed_threshold_window(benchmark):
+    result = run_once(benchmark, fixed_threshold_scenario)
+    print(f"\n{result.description}: resurrected={result.resurrected} "
+          f"after {result.cycles} cycles")
+    assert result.resurrected  # the paper's stated risk
+
+
+def test_dormant_certificates_block_late_resurrection(benchmark):
+    result = run_once(benchmark, dormant_certificate_scenario)
+    print(f"\n{result.description}: resurrected={result.resurrected}, "
+          f"reactivations={result.reactivations}")
+    assert not result.resurrected
+    assert result.reactivations > 0
+
+
+def test_reinstatement_survives_reactivation(benchmark):
+    result = run_once(benchmark, reinstatement_scenario)
+    print(f"\n{result.description}: ok={result.value_visible_everywhere}, "
+          f"reactivations={result.reactivations}")
+    assert result.value_visible_everywhere
+    assert result.reactivations > 0
+
+
+def test_space_budget_extension(benchmark):
+    """30 days of flat history becomes years of dormant history."""
+    tau2 = run_once(benchmark, space_comparison, n=300, tau=30.0, tau1=10.0, r=4)
+    print(f"\nequal-space dormant window tau2 = {tau2:g} days "
+          f"(vs 20 days of flat history)")
+    assert tau2 == 1500.0  # (30-10) * 300 / 4: a 75x extension

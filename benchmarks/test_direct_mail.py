@@ -1,0 +1,62 @@
+"""Section 1.2 baseline: direct mail's cost and failure modes, plus the
+remailing blow-up that motivated this whole line of work (Section 0.1).
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments.baselines import (
+    direct_mail_experiment,
+    remail_blowup_experiment,
+)
+from repro.experiments.report import format_table
+
+
+def test_direct_mail_cost_and_reliability(benchmark, bench_runs):
+    def run():
+        return [
+            direct_mail_experiment(
+                n=300, loss_probability=loss, runs=bench_runs, seed=80
+            )
+            for loss in (0.0, 0.02, 0.10)
+        ]
+
+    results = run_once(benchmark, run)
+    print()
+    print(
+        format_table(
+            ["loss prob", "messages/update", "delivered", "residue"],
+            [
+                (loss, r.messages_per_update, r.delivery_ratio, r.residue)
+                for loss, r in zip((0.0, 0.02, 0.10), results)
+            ],
+            title="Direct mail: n messages per update, residue tracks loss",
+        )
+    )
+    perfect, small_loss, big_loss = results
+    assert perfect.messages_per_update == pytest.approx(299)
+    assert perfect.residue == 0.0
+    assert small_loss.residue == pytest.approx(0.02, abs=0.02)
+    assert big_loss.residue == pytest.approx(0.10, abs=0.04)
+
+
+def test_incomplete_membership_knowledge(benchmark, bench_runs):
+    """The second failure mode: the source does not know all of S."""
+    result = run_once(
+        benchmark, direct_mail_experiment,
+        n=200, loss_probability=0.0, known_fraction=0.7,
+        runs=bench_runs, seed=81,
+    )
+    print(f"\nknown_fraction=0.7: residue={result.residue:.3f}")
+    assert result.residue == pytest.approx(0.3, abs=0.05)
+
+
+def test_remailing_step_blowup(benchmark):
+    """Section 0.1: anti-entropy + remail-on-disagreement melts the
+    network; for a 300-site domain the paper saw 90,000 nightly
+    messages.  We reproduce the quadratic shape at n=120."""
+    result = run_once(benchmark, remail_blowup_experiment, n=120)
+    print(f"\nn={result.n}: with remail {result.messages_with_remail} messages, "
+          f"without {result.messages_without_remail}")
+    assert result.messages_without_remail == 0
+    assert result.messages_with_remail > 10 * result.n

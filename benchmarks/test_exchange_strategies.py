@@ -1,0 +1,109 @@
+"""Section 1.3 ablation: what one anti-entropy conversation costs under
+the three exchange strategies.
+
+* full compare always walks the whole key union;
+* checksum + recent-update list examines only the recent window when
+  tau exceeds the distribution time — and degrades to worse than full
+  compare when tau is too small (the paper's explicit warning);
+* peel back examines only down to the divergence point.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.core.store import ReplicaStore
+from repro.core.timestamps import SequenceClock
+from repro.experiments.report import format_table
+from repro.protocols.base import ExchangeMode
+from repro.protocols.exchange import ChecksumWithRecent, FullCompare, PeelBack
+
+DB_SIZE = 400
+RECENT = 5
+
+
+def build_pair():
+    """Two replicas sharing a large synced history plus a few recent
+    private updates each."""
+    a = ReplicaStore(site_id=0, clock=SequenceClock(site=0))
+    b = ReplicaStore(site_id=1, clock=SequenceClock(site=1, start=0.5))
+    for i in range(DB_SIZE):
+        update = a.update(f"key-{i}", i)
+        b.apply_entry(update.key, update.entry)
+        b.clock.next_timestamp()  # keep the clocks roughly in step
+    for i in range(RECENT):
+        a.update(f"recent-a-{i}", i)
+        b.update(f"recent-b-{i}", i)
+    return a, b
+
+
+@pytest.mark.parametrize(
+    "label,strategy",
+    [
+        ("full-compare", FullCompare()),
+        ("checksum tau=50", ChecksumWithRecent(tau=50.0)),
+        ("peel-back", PeelBack()),
+    ],
+)
+def test_strategy_converges(benchmark, label, strategy):
+    def run():
+        a, b = build_pair()
+        report = strategy.exchange(a, b, ExchangeMode.PUSH_PULL)
+        assert a.agrees_with(b)
+        return report
+
+    report = run_once(benchmark, run)
+    print(
+        f"\n{label}: examined {report.entries_examined} entries, "
+        f"shipped {report.updates_shipped}, full_compare={report.full_compare}"
+    )
+
+
+def test_cost_ordering(benchmark):
+    def run():
+        costs = {}
+        for label, strategy in [
+            ("full", FullCompare()),
+            ("checksum", ChecksumWithRecent(tau=50.0)),
+            ("peelback", PeelBack()),
+        ]:
+            a, b = build_pair()
+            report = strategy.exchange(a, b, ExchangeMode.PUSH_PULL)
+            costs[label] = report.entries_examined
+        return costs
+
+    costs = run_once(benchmark, run)
+    print()
+    print(
+        format_table(
+            ["strategy", "entries examined"],
+            sorted(costs.items()),
+            title=f"Exchange cost, {DB_SIZE}-entry database, {2 * RECENT} recent diffs",
+        )
+    )
+    # Full compare walks the whole database; the smart strategies don't.
+    assert costs["full"] >= DB_SIZE
+    # checksum+recent examines the recent window (~2 x tau entries),
+    # peel back only down to the divergence point.
+    assert costs["checksum"] < DB_SIZE / 2
+    assert costs["peelback"] < DB_SIZE / 8
+    assert costs["peelback"] <= costs["checksum"] <= costs["full"]
+
+
+def test_checksum_with_bad_tau_degrades(benchmark):
+    """tau below the distribution time: checksums usually disagree and
+    traffic rises to slightly above plain anti-entropy."""
+    def run():
+        a, b = build_pair()
+        # Age everything so nothing falls inside the recent window.
+        for __ in range(200):
+            a.clock.next_timestamp()
+            b.clock.next_timestamp()
+        report = ChecksumWithRecent(tau=1.0).exchange(a, b, ExchangeMode.PUSH_PULL)
+        assert a.agrees_with(b)
+        return report
+
+    report = run_once(benchmark, run)
+    print(f"\nbad tau: examined {report.entries_examined}, "
+          f"full_compare={report.full_compare}")
+    assert report.full_compare
+    assert report.entries_examined >= DB_SIZE

@@ -1,0 +1,50 @@
+"""Section 4 extension: does a dynamic hierarchy beat flat spatial
+selection on the synthetic CIN?
+
+The hypothesis the paper closes with: long-range gossip confined to a
+small backbone should recover near-uniform convergence at near-spatial
+traffic.  We compare uniform, sorted-list a=2.0, and the hierarchy.
+"""
+
+from conftest import run_once
+from repro.experiments.report import format_table
+from repro.experiments.spatial import spatial_table
+from repro.topology.distance import SiteDistances
+from repro.topology.hierarchy import HierarchicalSelector
+from repro.topology.spatial import SortedListSelector, UniformSelector
+
+HEADERS = ["selector", "t_last", "t_ave", "cmp avg", "cmp Bushey", "upd avg", "upd Bushey"]
+
+
+def test_hierarchy_vs_flat_selectors(benchmark, bench_runs, cin_network):
+    distances = SiteDistances(cin_network.topology)
+    selectors = [
+        ("uniform", UniformSelector(cin_network.sites)),
+        ("a=2.0", SortedListSelector(distances, a=2.0)),
+        (
+            "hierarchy",
+            HierarchicalSelector(
+                distances, backbone_count=16, long_range_probability=0.5
+            ),
+        ),
+    ]
+    rows = run_once(
+        benchmark, spatial_table,
+        cin=cin_network, runs=bench_runs, selectors=selectors,
+    )
+    print()
+    print(
+        format_table(
+            HEADERS,
+            [r.as_tuple() for r in rows],
+            title="Uniform vs spatial vs dynamic hierarchy (synthetic CIN)",
+        )
+    )
+    uniform, spatial, hierarchy = rows
+    assert all(r.incomplete_runs == 0 for r in rows)
+    # The hierarchy converges faster than flat a=2.0 ...
+    assert hierarchy.t_last < spatial.t_last
+    # ... while keeping average traffic well below uniform ...
+    assert hierarchy.compare_avg < 0.8 * uniform.compare_avg
+    # ... and keeping the critical link far below uniform levels.
+    assert hierarchy.compare_special < 0.5 * uniform.compare_special

@@ -1,0 +1,84 @@
+"""Section 3: the traffic/convergence tradeoff for d^-a on a line.
+
+The paper's asymptotic table:
+
+    T(n) = O(n)         a < 1
+           O(n/log n)   a = 1
+           O(n^{2-a})   1 < a < 2
+           O(log n)     a = 2
+           O(1)         a > 2
+
+with convergence flipping the other way — the reason d^-2 is the sweet
+spot on a line.  We check both the exact analytic expectation and
+simulated anti-entropy runs.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.analysis.traffic import (
+    expected_mean_link_traffic,
+    line_traffic_class,
+    theoretical_growth,
+)
+from repro.experiments.report import format_table
+from repro.experiments.spatial import line_scaling
+
+
+def test_analytic_traffic_scaling(benchmark):
+    ns = (50, 100, 200, 400)
+    a_values = (0.0, 1.0, 1.5, 2.0, 3.0)
+
+    def run():
+        return {
+            a: [expected_mean_link_traffic(n, a) for n in ns] for a in a_values
+        }
+
+    table = run_once(benchmark, run)
+    rows = [
+        (f"a={a:g} {line_traffic_class(a)}",) + tuple(table[a]) for a in a_values
+    ]
+    print()
+    print(
+        format_table(
+            ["distribution"] + [f"n={n}" for n in ns],
+            rows,
+            title="Analytic mean link traffic per cycle (line network)",
+        )
+    )
+    for a in a_values:
+        measured_ratio = table[a][-1] / table[a][0]
+        predicted_ratio = theoretical_growth(ns[-1], a) / theoretical_growth(ns[0], a)
+        assert measured_ratio == pytest.approx(predicted_ratio, rel=0.5)
+
+
+def test_simulated_line_tradeoff(benchmark, bench_runs):
+    runs = max(2, bench_runs // 3)
+    rows = run_once(
+        benchmark, line_scaling,
+        ns=(32, 64, 128), a_values=(0.0, 2.0, 3.0), runs=runs,
+    )
+    print()
+    print(
+        format_table(
+            ["n", "a", "link traffic/cycle", "t_last"],
+            [(r.n, r.a, r.mean_link_traffic, r.t_last) for r in rows],
+            title="Simulated anti-entropy on a line",
+        )
+    )
+    by_key = {(r.n, r.a): r for r in rows}
+    # Traffic: uniform grows ~linearly; a=2 barely grows; a=3 flat.
+    assert (
+        by_key[(128, 0.0)].mean_link_traffic
+        > 2.5 * by_key[(32, 0.0)].mean_link_traffic
+    )
+    assert (
+        by_key[(128, 3.0)].mean_link_traffic
+        < 2.0 * by_key[(32, 3.0)].mean_link_traffic
+    )
+    # Convergence: a=3 pays in time; uniform is fastest.
+    for n in (32, 64, 128):
+        assert by_key[(n, 0.0)].t_last <= by_key[(n, 3.0)].t_last
+    # a=3 convergence degrades super-logarithmically: quadrupling n
+    # should much more than double t_last (polynomial regime).
+    assert by_key[(128, 3.0)].t_last > 1.8 * by_key[(32, 3.0)].t_last

@@ -1,0 +1,91 @@
+"""Figures 1 and 2 (Section 3.2): spatial rumor mongering failures.
+
+Figure 1: two nearby sites s, t far from m equidistant sites.  With a
+Q^-2 distribution and m > k, push rumors born at s die inside {s, t}
+with significant probability; pull leaves {s, t} starved of updates
+born in the main group.
+
+Figure 2: a lone site beyond a binary tree's height is missed by push.
+
+The paper's remedy — back rumor mongering with anti-entropy — must
+drive failures to zero, and raising k must shrink the failure rate
+(the paper needed k=36 for plain push at a=1.2 on the real CIN).
+"""
+
+from conftest import run_once
+from repro.experiments.pathologies import (
+    backup_fixes_pathology,
+    figure1_experiment,
+    figure1_pull_experiment,
+    figure2_experiment,
+)
+from repro.experiments.report import format_table
+
+
+def test_figure1_push_dies_in_the_pair(benchmark, bench_runs):
+    trials = bench_runs * 5
+    result = run_once(benchmark, figure1_experiment, m=20, k=2, trials=trials)
+    print()
+    print(
+        format_table(
+            ["experiment", "trials", "failures", "died in {s,t}"],
+            [("fig1 push k=2", result.trials, result.failures, result.died_in_pair)],
+            title="Figure 1 (push, Q^-2 distribution)",
+        )
+    )
+    assert result.failure_rate > 0.3
+    assert result.died_in_pair > 0
+
+
+def test_figure1_pull_starves_the_pair(benchmark, bench_runs):
+    trials = bench_runs * 5
+    result = run_once(benchmark, figure1_pull_experiment, m=20, k=1, trials=trials)
+    print()
+    print(
+        format_table(
+            ["experiment", "trials", "failures", "pair missed"],
+            [("fig1 pull k=1", result.trials, result.failures, result.died_in_pair)],
+        )
+    )
+    assert result.failures > 0
+    assert result.died_in_pair > 0
+
+
+def test_figure2_push_misses_lonely_site(benchmark, bench_runs):
+    trials = bench_runs * 3
+    result = run_once(
+        benchmark, figure2_experiment, depth=5, spur_length=8, k=2, trials=trials
+    )
+    print()
+    print(
+        format_table(
+            ["experiment", "trials", "failures", "s missed"],
+            [("fig2 push k=2", result.trials, result.failures, result.missed_lonely)],
+        )
+    )
+    assert result.missed_lonely > 0
+
+
+def test_increasing_k_compensates(benchmark, bench_runs):
+    """The paper's tuning knob: failures shrink as k grows."""
+    trials = bench_runs * 3
+    rates = run_once(benchmark, lambda: [
+        figure1_experiment(m=20, k=k, trials=trials, seed=70 + k).failure_rate
+        for k in (1, 4, 16)
+    ])
+    print()
+    print(
+        format_table(
+            ["k", "failure rate"],
+            list(zip((1, 4, 16), rates)),
+            title="Figure 1 failure rate vs k",
+        )
+    )
+    assert rates[2] < rates[0]
+
+
+def test_anti_entropy_backup_eliminates_failures(benchmark, bench_runs):
+    result = run_once(
+        benchmark, backup_fixes_pathology, m=20, k=1, trials=bench_runs
+    )
+    assert result.failures == 0

@@ -1,0 +1,75 @@
+"""Section 3.2: rumor mongering with spatial distributions on the CIN.
+
+Push-pull rumor mongering with a spatial distribution, once k is large
+enough for 100% coverage, matches Table 4's anti-entropy traffic and
+convergence — at rumor-list prices instead of whole-database prices.
+Plain push with a spatial distribution needs a much larger k (the
+paper measured k=36 at a=1.2 on the real CIN).
+"""
+
+from conftest import run_once
+from repro.experiments.report import format_table
+from repro.experiments.spatial import rumor_spatial_table, spatial_table
+from repro.protocols.base import ExchangeMode
+
+HEADERS = ["k", "t_last", "t_ave", "cmp avg", "cmp Bushey", "upd avg", "upd Bushey"]
+
+
+def test_push_pull_rumors_with_spatial_distribution(benchmark, bench_runs, cin_network):
+    rows = run_once(
+        benchmark, rumor_spatial_table,
+        cin=cin_network, runs=bench_runs, a=1.4, ks=(1, 2, 4, 6),
+    )
+    print()
+    print(
+        format_table(
+            HEADERS,
+            [r.as_tuple() for r in rows],
+            title="Push-pull rumor mongering, sorted-list a=1.4 (synthetic CIN)",
+        )
+    )
+    print("incomplete runs by k:", [(r.label, r.incomplete_runs) for r in rows])
+    # A small finite k achieves 100% distribution (the paper's finding).
+    assert rows[-1].incomplete_runs == 0
+    # Coverage failures shrink monotonically-ish with k.
+    assert rows[-1].incomplete_runs <= rows[0].incomplete_runs
+
+
+def test_tuned_rumors_match_anti_entropy_traffic(benchmark, bench_runs, cin_network):
+    """Once k gives 100% coverage, traffic and convergence are close to
+    the anti-entropy values of Table 4 (paper: 'nearly identical')."""
+    runs = max(3, bench_runs // 2)
+
+    def run():
+        anti = spatial_table(cin=cin_network, runs=runs, a_values=(1.4,))[1]
+        rumor = rumor_spatial_table(cin=cin_network, runs=runs, a=1.4, ks=(6,))[0]
+        return anti, rumor
+
+    anti, rumor = run_once(benchmark, run)
+    print()
+    print(
+        format_table(
+            ["mechanism", "t_last", "cmp Bushey", "upd avg"],
+            [
+                ("anti-entropy a=1.4", anti.t_last, anti.compare_special, anti.update_avg),
+                ("rumor k=6 a=1.4", rumor.t_last, rumor.compare_special, rumor.update_avg),
+            ],
+        )
+    )
+    assert rumor.incomplete_runs == 0
+    # Same ballpark on convergence and on critical-link traffic.
+    assert rumor.t_last < 3 * anti.t_last
+    assert rumor.compare_special < 5 * max(anti.compare_special, 0.5)
+
+
+def test_plain_push_needs_much_larger_k(benchmark, cin_network):
+    """Push (no pull direction) is far more fragile under spatial
+    distributions: at small k many runs fail to cover the network."""
+    def run():
+        return rumor_spatial_table(
+            cin=cin_network, runs=5, a=1.4, ks=(2,), mode=ExchangeMode.PUSH
+        )[0]
+
+    row = run_once(benchmark, run)
+    print(f"\npush k=2: incomplete {row.incomplete_runs}/5 runs")
+    assert row.incomplete_runs > 0

@@ -1,0 +1,65 @@
+"""Section 1.3 under continuous load: choosing tau for checksums.
+
+The paper: tau must exceed the expected update-distribution time, or
+checksum comparisons usually fail and traffic rises to slightly above
+plain anti-entropy; but an over-large tau bloats the recent-update
+lists.  The sweep exposes the sweet spot just above the distribution
+time (~log n cycles).
+"""
+
+from conftest import run_once
+from repro.experiments.report import format_table
+from repro.experiments.workloads import checksum_tau_experiment
+
+
+def test_checksum_tau_sweep(benchmark, bench_runs):
+    results = run_once(
+        benchmark,
+        checksum_tau_experiment,
+        n=30,
+        tau_values=(2.0, 5.0, 10.0, 20.0, 50.0),
+        update_rate=2.0,
+        cycles=max(40, bench_runs * 5),
+    )
+    print()
+    print(
+        format_table(
+            ["tau", "checksum success", "entries/exchange", "full compares"],
+            [
+                (r.tau, r.checksum_success_rate,
+                 r.entries_examined_per_exchange, r.full_compare_rate)
+                for r in results
+            ],
+            title="Checksum + recent-update-list anti-entropy under load (n=30)",
+        )
+    )
+    by_tau = {r.tau: r for r in results}
+    # tau below the distribution time: checksums usually fail.
+    assert by_tau[2.0].full_compare_rate > 0.5
+    # tau just above it: checksums nearly always succeed...
+    assert by_tau[10.0].checksum_success_rate > 0.9
+    # ...and the examined volume is minimal there; both extremes cost more.
+    best = min(results, key=lambda r: r.entries_examined_per_exchange)
+    assert best.tau in (5.0, 10.0)
+    assert by_tau[2.0].entries_examined_per_exchange > best.entries_examined_per_exchange
+    assert by_tau[50.0].entries_examined_per_exchange > best.entries_examined_per_exchange
+    # Consistency is never sacrificed, only traffic.
+    assert all(r.converged_after_quiesce for r in results)
+
+
+def test_traffic_scales_with_update_rate(benchmark):
+    """Once tau is right, exchange volume tracks the update rate —
+    the paper's 'bounded by the expected number of updates in tau'."""
+    def run():
+        slow = checksum_tau_experiment(
+            n=30, tau_values=(10.0,), update_rate=1.0, cycles=50
+        )[0]
+        fast = checksum_tau_experiment(
+            n=30, tau_values=(10.0,), update_rate=4.0, cycles=50
+        )[0]
+        return slow, fast
+
+    slow, fast = run_once(benchmark, run)
+    print(f"\nentries/exchange at rate 1: {slow.entries_examined_per_exchange:.1f}, "
+          f"rate 4: {fast.entries_examined_per_exchange:.1f}")
+    assert fast.entries_examined_per_exchange > 2 * slow.entries_examined_per_exchange

@@ -1,0 +1,48 @@
+"""Table 2: push rumor mongering, blind + coin, n = 1000.
+
+Paper: k=1 barely spreads (s = 0.96, m = 0.04); by k=5 s = 0.008.
+Convergence is slower than the feedback/counter variant throughout
+(t_last around 32-38 vs 17).
+"""
+
+from conftest import run_once
+from repro.experiments.report import format_table
+from repro.experiments.tables import PAPER_TABLE2, table1, table2
+
+
+def test_table2_blind_coin_push(benchmark, bench_runs, bench_n):
+    rows = run_once(benchmark, table2, n=bench_n, runs=bench_runs)
+    print()
+    print(
+        format_table(
+            ["k", "residue", "m", "t_ave", "t_last"],
+            [r.as_tuple() for r in rows],
+            title=f"Table 2 (measured, n={bench_n}, {bench_runs} runs)",
+        )
+    )
+    print(
+        format_table(
+            ["k", "residue", "m", "t_ave", "t_last"],
+            PAPER_TABLE2,
+            title="Table 2 (paper)",
+        )
+    )
+    residues = [r.residue for r in rows]
+    assert residues == sorted(residues, reverse=True)
+    # k=1 blind+coin is a critical branching process: almost nobody hears.
+    assert rows[0].residue > 0.85
+    assert rows[0].traffic < 0.3
+    # k=5 reaches nearly everyone.
+    assert rows[-1].residue < 0.05
+
+
+def test_blind_coin_slower_than_feedback_counter(benchmark, bench_n, bench_runs):
+    """Counters and feedback improve delay (Section 1.4's finding)."""
+    runs = max(2, bench_runs // 2)
+    blind, feedback = run_once(
+        benchmark,
+        lambda: (table2(n=bench_n, runs=runs), table1(n=bench_n, runs=runs)),
+    )
+    # Compare at matched k >= 3 where both variants spread widely.
+    for b, f in zip(blind[2:], feedback[2:]):
+        assert b.t_last > f.t_last

@@ -1,0 +1,64 @@
+"""Touring the complex-epidemic design space (Section 1.4).
+
+Spreads one update through 1000 sites under each rumor-mongering
+variant and prints the paper's four metrics — a condensed live version
+of Tables 1-3 plus the push-pull and minimization variants.
+
+Run:  python examples/rumor_variants.py
+"""
+
+from repro import ConnectionPolicy, ExchangeMode, RumorConfig
+from repro.experiments.report import format_table
+from repro.experiments.tables import run_rumor_trial
+from repro.sim.metrics import mean
+
+N = 1000
+RUNS = 5
+
+VARIANTS = [
+    ("push feedback counter k=2 (Table 1)",
+     RumorConfig(mode=ExchangeMode.PUSH, k=2)),
+    ("push blind coin k=2 (Table 2)",
+     RumorConfig(mode=ExchangeMode.PUSH, feedback=False, counter=False, k=2)),
+    ("pull feedback counter k=2 (Table 3)",
+     RumorConfig(mode=ExchangeMode.PULL, k=2)),
+    ("push-pull feedback counter k=2",
+     RumorConfig(mode=ExchangeMode.PUSH_PULL, k=2)),
+    ("push-pull + counter minimization k=2",
+     RumorConfig(mode=ExchangeMode.PUSH_PULL, k=2, minimization=True)),
+    ("push k=2, connection limit 1",
+     RumorConfig(mode=ExchangeMode.PUSH, k=2,
+                 policy=ConnectionPolicy(connection_limit=1))),
+    ("push k=2, connection limit 1 + hunting",
+     RumorConfig(mode=ExchangeMode.PUSH, k=2,
+                 policy=ConnectionPolicy(connection_limit=1, hunt_limit=4))),
+]
+
+
+def main() -> None:
+    rows = []
+    for label, config in VARIANTS:
+        residues, traffics, t_aves, t_lasts = [], [], [], []
+        for run in range(RUNS):
+            metrics = run_rumor_trial(N, config, seed=hash(label) % 10000 + run)
+            residues.append(metrics.residue)
+            traffics.append(metrics.traffic_per_site)
+            t_aves.append(metrics.t_ave)
+            t_lasts.append(metrics.t_last)
+        rows.append(
+            (label, mean(residues), mean(traffics), mean(t_aves), mean(t_lasts))
+        )
+    print(
+        format_table(
+            ["variant", "residue s", "traffic m", "t_ave", "t_last"],
+            rows,
+            title=f"One update through {N} sites ({RUNS}-run averages)",
+        )
+    )
+    print("\nreading guide: residue = fraction of sites never reached;")
+    print("m = update messages per site; push obeys s ~ e^-m, pull and")
+    print("minimization beat it; the connection limit *helps* push.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Tuning spatial distributions (Section 3).
+
+Part 1 — the line network: sweeps the d^-a exponent and shows the
+traffic/convergence tradeoff that makes a=2 the sweet spot.
+
+Part 2 — the CIN: compares uniform, 1/(d Q), 1/Q^2 and the sorted-list
+form (3.1.1) on the synthetic Xerox internet, reporting average and
+transatlantic-link traffic (the Table 4 experiment, interactively).
+
+Run:  python examples/spatial_tuning.py
+"""
+
+from repro.analysis.traffic import line_traffic_class
+from repro.experiments.report import format_table
+from repro.experiments.spatial import (
+    line_scaling,
+    spatial_table,
+    standard_selectors,
+)
+from repro.topology.cin import build_cin_like_topology
+from repro.topology.distance import SiteDistances
+from repro.topology.spatial import (
+    QDistanceSelector,
+    QPowerSelector,
+    SortedListSelector,
+    UniformSelector,
+)
+
+
+def part1_line() -> None:
+    print("Part 1: sites on a line, partner probability ~ d^-a")
+    rows = line_scaling(ns=(32, 128), a_values=(0.0, 1.0, 2.0, 3.0), runs=3)
+    print(
+        format_table(
+            ["n", "a", "asymptotic T(n)", "link traffic/cycle", "t_last"],
+            [
+                (r.n, r.a, line_traffic_class(r.a), r.mean_link_traffic, r.t_last)
+                for r in rows
+            ],
+        )
+    )
+    print("a=2 keeps traffic near O(log n) while convergence stays "
+          "polylogarithmic - the paper's recommendation.\n")
+
+
+def part2_cin() -> None:
+    print("Part 2: distribution families on the synthetic CIN")
+    cin = build_cin_like_topology()
+    distances = SiteDistances(cin.topology)
+    selectors = [
+        ("uniform", UniformSelector(cin.sites)),
+        ("1/(d*Q)", QDistanceSelector(distances)),
+        ("1/Q^2", QPowerSelector(distances, a=2.0)),
+        ("(3.1.1) a=1.4", SortedListSelector(distances, a=1.4)),
+        ("(3.1.1) a=2.0", SortedListSelector(distances, a=2.0)),
+    ]
+    rows = spatial_table(cin=cin, runs=8, selectors=selectors)
+    print(
+        format_table(
+            ["distribution", "t_last", "t_ave", "cmp avg", "cmp Bushey",
+             "upd avg", "upd Bushey"],
+            [r.as_tuple() for r in rows],
+            title=f"push-pull anti-entropy, {cin.site_count} sites, 8 runs",
+        )
+    )
+    print("\nthe sorted-list (3.1.1) family keeps the transatlantic link "
+          "coolest per unit of convergence delay,\nwhich is why it — not "
+          "raw 1/Q^2 — went into the production Clearinghouse release.")
+
+
+if __name__ == "__main__":
+    part1_line()
+    part2_cin()

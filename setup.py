@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The metadata lives in pyproject.toml; this file exists so that editable
+installs work in offline environments whose setuptools lacks the
+``wheel`` package required by PEP 660 editable wheels
+(``pip install -e . --no-use-pep517 --no-build-isolation``).
+"""
+
+from setuptools import setup
+
+setup()

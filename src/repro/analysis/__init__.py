@@ -1,0 +1,76 @@
+"""Closed-form epidemic theory used to cross-check the simulations.
+
+* :mod:`repro.analysis.epidemic_theory` — the rumor-spreading ODE of
+  Section 1.4, its residue fixed point ``s = e^{-(k+1)(1-s)}``, the
+  ``s = e^{-m}`` traffic law and its connection-limited variants, and
+  Pittel's push-epidemic convergence bound;
+* :mod:`repro.analysis.recurrences` — the anti-entropy tail recurrences
+  of Section 1.3 and a class-structured recurrence for pull rumor
+  mongering with feedback and counters;
+* :mod:`repro.analysis.traffic` — expected per-link traffic for
+  ``d^-a`` spatial distributions on a line (Section 3's scaling table).
+"""
+
+from repro.analysis.epidemic_theory import (
+    rumor_residue,
+    infective_trajectory,
+    i_of_s,
+    residue_from_traffic,
+    traffic_from_residue,
+    connection_limited_push_lambda,
+    connection_limited_push_residue,
+    connection_limited_pull_residue,
+    pittel_push_cycles,
+    connection_count_probability,
+)
+from repro.analysis.recurrences import (
+    pull_tail,
+    push_tail,
+    push_tail_factor,
+    cycles_to_eliminate,
+    pull_counter_feedback_model,
+    push_counter_feedback_model,
+)
+from repro.analysis.traffic import (
+    line_traffic_per_link,
+    line_traffic_class,
+    expected_mean_link_traffic,
+)
+from repro.analysis.markov import (
+    push_new_infections,
+    pull_new_infections,
+    push_pull_new_infections,
+    expected_cycles_to_complete,
+    state_distribution_after,
+    expected_infected_after,
+    completion_probability_after,
+)
+
+__all__ = [
+    "rumor_residue",
+    "infective_trajectory",
+    "i_of_s",
+    "residue_from_traffic",
+    "traffic_from_residue",
+    "connection_limited_push_lambda",
+    "connection_limited_push_residue",
+    "connection_limited_pull_residue",
+    "pittel_push_cycles",
+    "connection_count_probability",
+    "pull_tail",
+    "push_tail",
+    "push_tail_factor",
+    "cycles_to_eliminate",
+    "pull_counter_feedback_model",
+    "push_counter_feedback_model",
+    "line_traffic_per_link",
+    "line_traffic_class",
+    "expected_mean_link_traffic",
+    "push_new_infections",
+    "pull_new_infections",
+    "push_pull_new_infections",
+    "expected_cycles_to_complete",
+    "state_distribution_after",
+    "expected_infected_after",
+    "completion_probability_after",
+]

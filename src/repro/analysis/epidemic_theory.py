@@ -1,0 +1,168 @@
+"""The deterministic rumor-spreading model (Section 1.4) and related laws.
+
+Rumor spreading with feedback and coin (loss of interest with
+probability ``1/k`` on an unnecessary contact) is modeled by
+
+    ds/dt = -s i
+    di/dt = +s i - (1/k)(1 - s) i
+
+Dividing the equations eliminates ``t`` and yields
+
+    i(s) = ((k+1)/k)(1 - s) + (1/k) log s
+
+so the epidemic ends (``i = 0``) at the nonzero root of the implicit
+equation ``s = exp(-(k+1)(1-s))`` — the residue decreases exponentially
+in ``k`` (about 20% of sites miss the rumor at ``k = 1``, about 6% at
+``k = 2``).
+
+Also provided: the ``s = e^{-m}`` traffic/residue law shared by the
+push variants, its connection-limited refinements, the per-cycle
+connection-count distribution ``e^{-1}/j!``, and Pittel's bound for the
+push simple epidemic, ``log2(n) + ln(n) + O(1)`` cycles.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+
+def i_of_s(s: float, k: float) -> float:
+    """The infective fraction as a function of the susceptible fraction.
+
+    Valid for the feedback+coin rumor model started from an infinitesimal
+    seed (``i(1) = 0``).
+    """
+    if not 0.0 < s <= 1.0:
+        raise ValueError("s must lie in (0, 1]")
+    if k <= 0:
+        raise ValueError("k must be positive")
+    return (k + 1.0) / k * (1.0 - s) + math.log(s) / k
+
+
+def rumor_residue(k: float, tolerance: float = 1e-12) -> float:
+    """The nonzero root of ``s = exp(-(k+1)(1-s))`` — the final residue.
+
+    Solved by bisection on ``g(s) = s - exp(-(k+1)(1-s))``, which is
+    negative just above 0 and crosses zero exactly once below the
+    trivial root at ``s = 1``.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+
+    def g(s: float) -> float:
+        return s - math.exp(-(k + 1.0) * (1.0 - s))
+
+    # g < 0 near 0 (g(0+) = -e^{-(k+1)}) and g > 0 just below the
+    # trivial root at s = 1 (g'(1) = -k < 0), with exactly one interior
+    # crossing: bisect on that bracket.
+    lo = 1e-300
+    hi = 1.0 - 1e-9
+    while hi - lo > tolerance * max(1.0, lo):
+        mid = (lo + hi) / 2.0
+        if g(mid) < 0:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2.0
+
+
+def infective_trajectory(
+    k: float,
+    n: int,
+    dt: float = 0.01,
+    max_time: float = 200.0,
+) -> List[Tuple[float, float, float]]:
+    """Numerically integrate the rumor ODE from a single infective seed.
+
+    Returns ``(t, s, i)`` samples (RK4, fixed step) until the infective
+    fraction falls below ``1/(10 n)`` or ``max_time`` passes.  Useful
+    for comparing the deterministic model against stochastic runs.
+    """
+    if n < 2:
+        raise ValueError("need at least two sites")
+
+    def derivatives(s: float, i: float) -> Tuple[float, float]:
+        ds = -s * i
+        di = s * i - (1.0 / k) * (1.0 - s) * i
+        return ds, di
+
+    s = 1.0 - 1.0 / n
+    i = 1.0 / n
+    t = 0.0
+    samples = [(t, s, i)]
+    floor = 1.0 / (10.0 * n)
+    while i > floor and t < max_time:
+        ds1, di1 = derivatives(s, i)
+        ds2, di2 = derivatives(s + dt * ds1 / 2, i + dt * di1 / 2)
+        ds3, di3 = derivatives(s + dt * ds2 / 2, i + dt * di2 / 2)
+        ds4, di4 = derivatives(s + dt * ds3, i + dt * di3)
+        s += dt * (ds1 + 2 * ds2 + 2 * ds3 + ds4) / 6.0
+        i += dt * (di1 + 2 * di2 + 2 * di3 + di4) / 6.0
+        s = min(max(s, 0.0), 1.0)
+        i = max(i, 0.0)
+        t += dt
+        samples.append((t, s, i))
+    return samples
+
+
+def residue_from_traffic(m: float) -> float:
+    """``s = e^{-m}``: the residue/traffic law of the push variants.
+
+    ``n m`` updates are sent; the chance one site misses all of them is
+    ``(1 - 1/n)^{n m} -> e^{-m}``.
+    """
+    if m < 0:
+        raise ValueError("traffic must be non-negative")
+    return math.exp(-m)
+
+
+def traffic_from_residue(s: float) -> float:
+    """Inverse of :func:`residue_from_traffic`."""
+    if not 0.0 < s <= 1.0:
+        raise ValueError("residue must lie in (0, 1]")
+    return -math.log(s)
+
+
+def connection_limited_push_lambda() -> float:
+    """``lambda = 1 / (1 - e^{-1})`` for push with connection limit 1.
+
+    Rejected connections shorten useless contacts, so the residue
+    improves to ``s = e^{-lambda m}``.
+    """
+    return 1.0 / (1.0 - math.exp(-1.0))
+
+
+def connection_limited_push_residue(m: float) -> float:
+    """``s = e^{-lambda m}`` for push, connection limit 1."""
+    if m < 0:
+        raise ValueError("traffic must be non-negative")
+    return math.exp(-connection_limited_push_lambda() * m)
+
+
+def connection_limited_pull_residue(m: float, delta: float) -> float:
+    """``s = delta^m``: pull with connection-failure probability delta."""
+    if m < 0:
+        raise ValueError("traffic must be non-negative")
+    if not 0.0 < delta < 1.0:
+        raise ValueError("delta must lie in (0, 1)")
+    return delta ** m
+
+
+def connection_count_probability(j: int) -> float:
+    """``P(site receives exactly j connections in a cycle) = e^{-1}/j!``.
+
+    Each of ``n`` sites independently picks one of ``n-1`` partners, so
+    the in-degree of a site converges to Poisson(1).
+    """
+    if j < 0:
+        raise ValueError("j must be non-negative")
+    return math.exp(-1.0) / math.factorial(j)
+
+
+def pittel_push_cycles(n: int) -> float:
+    """Pittel's expected cycles for a push simple epidemic:
+    ``log2(n) + ln(n) + O(1)``."""
+    if n < 2:
+        raise ValueError("need at least two sites")
+    return math.log2(n) + math.log(n)

@@ -1,0 +1,180 @@
+"""Exact Markov-chain analysis of simple epidemics (Section 1.3).
+
+For anti-entropy the number of infected sites is a Markov chain on
+``{1, .., n}`` with computable transition laws:
+
+* **push** — each of ``i`` infected sites contacts a uniform partner;
+  a susceptible is infected when somebody contacts it.  Conditioning
+  throw by throw, the number of *newly* infected susceptibles follows
+  the distinct-bins distribution computed by :func:`push_new_infections`;
+* **pull** — each of ``s = n - i`` susceptibles contacts a uniform
+  partner and is infected when the partner is infected: newly infected
+  is Binomial(s, i/(n-1)).
+
+From the transition laws we get exact expected absorption times
+(cycles to full infection) and the full distribution of the epidemic's
+state at any cycle — ground truth against which the stochastic
+simulation and the asymptotic formulas (Pittel's bound, the endgame
+recurrences) are tested.
+
+Everything is plain Python on probability vectors; n up to a few
+hundred is instantaneous.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List
+
+TransitionLaw = Callable[[int], List[float]]
+"""Maps infected-count i to a distribution over newly infected counts."""
+
+
+def push_new_infections(n: int, i: int) -> List[float]:
+    """P(exactly k susceptibles newly infected | i infected, push).
+
+    Each of the ``i`` infected throws one contact uniformly over the
+    other ``n-1`` sites.  Processing throws sequentially, a throw hits
+    a not-yet-hit susceptible with probability ``(s - h)/(n - 1)``
+    where ``h`` is the number already hit — the throws are independent
+    and uniform, so the order of processing does not matter.
+    """
+    _check_state(n, i)
+    s = n - i
+    # distribution[h] after t throws
+    distribution = [1.0] + [0.0] * s
+    for __ in range(i):
+        updated = [0.0] * (s + 1)
+        for h, p in enumerate(distribution):
+            if p == 0.0:
+                continue
+            hit = (s - h) / (n - 1)
+            updated[h] += p * (1.0 - hit)
+            if h < s:
+                updated[h + 1] += p * hit
+        distribution = updated
+    return distribution
+
+
+def pull_new_infections(n: int, i: int) -> List[float]:
+    """P(exactly k susceptibles newly infected | i infected, pull).
+
+    Each of the ``s`` susceptibles independently contacts an infected
+    partner with probability ``i/(n-1)``: Binomial(s, i/(n-1)).
+    """
+    _check_state(n, i)
+    s = n - i
+    p = i / (n - 1)
+    q = 1.0 - p
+    return [
+        math.comb(s, k) * p ** k * q ** (s - k) for k in range(s + 1)
+    ]
+
+
+def push_pull_new_infections(n: int, i: int) -> List[float]:
+    """Newly infected under push-pull: a susceptible is infected unless
+    nobody pushed to it AND its own pull missed.
+
+    Pushes from the i infected and the susceptible's own pull are
+    independent; pushes hit distinct susceptibles per the push law, and
+    each susceptible's pull independently succeeds with ``i/(n-1)``.
+    We convolve: of the ``s - k_push`` susceptibles missed by pushes,
+    each is saved only if its pull also missed.
+    """
+    _check_state(n, i)
+    s = n - i
+    pull_hit = i / (n - 1)
+    base = push_new_infections(n, i)
+    result = [0.0] * (s + 1)
+    for k_push, p_push in enumerate(base):
+        if p_push == 0.0:
+            continue
+        remaining = s - k_push
+        for k_pull in range(remaining + 1):
+            p_pull = (
+                math.comb(remaining, k_pull)
+                * pull_hit ** k_pull
+                * (1.0 - pull_hit) ** (remaining - k_pull)
+            )
+            result[k_push + k_pull] += p_push * p_pull
+    return result
+
+
+def law_for(mode: str, n: int) -> TransitionLaw:
+    if mode == "push":
+        return lambda i: push_new_infections(n, i)
+    if mode == "pull":
+        return lambda i: pull_new_infections(n, i)
+    if mode == "push-pull":
+        return lambda i: push_pull_new_infections(n, i)
+    raise ValueError(f"unknown mode {mode!r}")
+
+
+def expected_cycles_to_complete(n: int, mode: str = "push") -> float:
+    """Exact expected cycles from 1 infected site to all n infected.
+
+    Standard absorbing-chain recursion: with ``E[i]`` the expected
+    remaining cycles from ``i`` infected,
+
+        E[n] = 0
+        E[i] = (1 + sum_{k>0} P(k) E[i+k]) / (1 - P(0))
+
+    (conditioning away the self-loop at ``i``).
+    """
+    if n < 2:
+        raise ValueError("need at least two sites")
+    law = law_for(mode, n)
+    expected = [0.0] * (n + 1)
+    for i in range(n - 1, 0, -1):
+        distribution = law(i)
+        p_stay = distribution[0]
+        if p_stay >= 1.0:
+            raise ArithmeticError(f"absorbing non-final state at i={i}")
+        total = 1.0
+        for k in range(1, len(distribution)):
+            total += distribution[k] * expected[i + k]
+        expected[i] = total / (1.0 - p_stay)
+    return expected[1]
+
+
+def state_distribution_after(
+    n: int, cycles: int, mode: str = "push", start_infected: int = 1
+) -> List[float]:
+    """Exact distribution of the infected count after ``cycles``."""
+    _check_state(n, start_infected)
+    law = law_for(mode, n)
+    probabilities = [0.0] * (n + 1)
+    probabilities[start_infected] = 1.0
+    for __ in range(cycles):
+        updated = [0.0] * (n + 1)
+        updated[n] = probabilities[n]
+        for i in range(1, n):
+            p_i = probabilities[i]
+            if p_i == 0.0:
+                continue
+            for k, p_k in enumerate(law(i)):
+                if p_k:
+                    updated[i + k] += p_i * p_k
+        probabilities = updated
+    return probabilities
+
+
+def expected_infected_after(
+    n: int, cycles: int, mode: str = "push", start_infected: int = 1
+) -> float:
+    distribution = state_distribution_after(n, cycles, mode, start_infected)
+    return sum(i * p for i, p in enumerate(distribution))
+
+
+def completion_probability_after(
+    n: int, cycles: int, mode: str = "push", start_infected: int = 1
+) -> float:
+    """P(everyone infected within ``cycles``)."""
+    return state_distribution_after(n, cycles, mode, start_infected)[n]
+
+
+def _check_state(n: int, i: int) -> None:
+    if n < 2:
+        raise ValueError("need at least two sites")
+    if not 1 <= i <= n:
+        raise ValueError(f"infected count {i} out of range for n={n}")

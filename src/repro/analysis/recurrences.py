@@ -1,0 +1,207 @@
+"""Deterministic recurrences for the anti-entropy endgame (Section 1.3)
+and for pull rumor mongering with counters (Section 1.4).
+
+Let ``p_i`` be the probability of a site remaining susceptible after
+the i-th anti-entropy cycle.  With most sites already infected:
+
+* **pull**: a site stays susceptible only by contacting another
+  susceptible, so ``p_{i+1} = p_i^2`` — quadratic convergence;
+* **push**: a site stays susceptible only if no infective site chose
+  it, so ``p_{i+1} = p_i (1 - 1/n)^{n (1 - p_i)}``, which for small
+  ``p_i`` approaches ``p_{i+1} = p_i e^{-1}`` — merely linear.
+
+This is why anti-entropy used as a *backup* mechanism should use pull
+or push-pull.
+
+For pull rumor mongering with feedback and counters, a class-structured
+mean-field model tracks the fraction of sites infective with each
+counter value; the number of pullers of a site is Poisson(1), giving
+reset probability ``1 - e^{-s}`` (some susceptible pulled) and
+increment probability ``e^{-s}(1 - e^{-(1-s)})`` (someone pulled, none
+susceptible).  The model reproduces the super-exponential
+residue-vs-traffic behavior the paper reports (``s = e^{-Theta(m^3)}``
+for the counter+feedback case).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List
+
+
+def pull_tail(p0: float, cycles: int) -> List[float]:
+    """``p_{i+1} = p_i^2`` — the pull anti-entropy endgame."""
+    _check_probability(p0)
+    values = [p0]
+    p = p0
+    for __ in range(cycles):
+        p = p * p
+        values.append(p)
+    return values
+
+
+def push_tail(p0: float, n: int, cycles: int) -> List[float]:
+    """``p_{i+1} = p_i (1 - 1/n)^{n (1 - p_i)}`` — the push endgame."""
+    _check_probability(p0)
+    if n < 2:
+        raise ValueError("need at least two sites")
+    values = [p0]
+    p = p0
+    base = 1.0 - 1.0 / n
+    for __ in range(cycles):
+        p = p * base ** (n * (1.0 - p))
+        values.append(p)
+    return values
+
+
+def push_tail_factor() -> float:
+    """The limiting per-cycle shrink factor for push: ``e^{-1}``."""
+    return math.exp(-1.0)
+
+
+def cycles_to_eliminate(p0: float, n: int, mode: str) -> int:
+    """Cycles for the expected susceptible *count* to drop below one.
+
+    A convenient scalar comparison of the two recurrences: how long
+    until ``p_i * n < 1``.
+    """
+    _check_probability(p0)
+    if mode not in ("push", "pull"):
+        raise ValueError("mode must be 'push' or 'pull'")
+    p = p0
+    cycles = 0
+    threshold = 1.0 / n
+    base = 1.0 - 1.0 / n
+    while p >= threshold:
+        if mode == "pull":
+            p = p * p
+        else:
+            p = p * base ** (n * (1.0 - p))
+        cycles += 1
+        if cycles > 10_000:
+            raise RuntimeError("recurrence did not converge")
+    return cycles
+
+
+@dataclasses.dataclass(slots=True)
+class PullModelResult:
+    """Outcome of the pull counter+feedback mean-field model."""
+
+    residue: float
+    traffic: float            # updates sent per site over the epidemic
+    cycles: int
+    susceptible_history: List[float]
+
+
+def pull_counter_feedback_model(
+    k: int,
+    n: int = 1000,
+    max_cycles: int = 10_000,
+) -> PullModelResult:
+    """Mean-field model of pull rumor mongering, feedback + counter.
+
+    State: susceptible fraction ``s``, infective fractions ``inf[c]``
+    for counter values ``0..k-1``, removed fraction implicit.  Each
+    cycle every site pulls one partner:
+
+    * a susceptible that pulls an infective becomes infective with
+      counter 0 (probability ``i``);
+    * an infective's counter resets if at least one susceptible pulled
+      it (``1 - e^{-s}``), increments if someone pulled it and no
+      susceptible did (``e^{-s}(1 - e^{-(1-s)})``), else is unchanged;
+      reaching ``k`` removes the site.
+
+    Traffic counts one update transmission per pull that contacted an
+    infective site (the rumor is shipped whether or not it was needed).
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if n < 2:
+        raise ValueError("need at least two sites")
+    s = 1.0 - 1.0 / n
+    inf = [0.0] * k
+    inf[0] = 1.0 / n
+    traffic = 0.0
+    history = [s]
+    floor = 1.0 / (10.0 * n)
+    cycles = 0
+    while sum(inf) > floor and cycles < max_cycles:
+        i_total = sum(inf)
+        # Every site pulls once; pulls that land on an infective ship
+        # the update.
+        traffic += i_total
+        newly_infected = s * i_total
+        reset_p = 1.0 - math.exp(-s)
+        increment_p = math.exp(-s) * (1.0 - math.exp(-(1.0 - s)))
+        stay_p = 1.0 - reset_p - increment_p
+        new_inf = [0.0] * k
+        resets = 0.0
+        for c in range(k):
+            resets += inf[c] * reset_p
+            new_inf[c] += inf[c] * stay_p
+            if c + 1 < k:
+                new_inf[c + 1] += inf[c] * increment_p
+            # c + 1 == k: the mass is removed.
+        new_inf[0] += resets + newly_infected
+        s -= newly_infected
+        inf = new_inf
+        history.append(s)
+        cycles += 1
+    return PullModelResult(
+        residue=s, traffic=traffic, cycles=cycles, susceptible_history=history
+    )
+
+
+def _check_probability(p: float) -> None:
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("probability must lie in [0, 1]")
+
+
+def push_counter_feedback_model(
+    k: int,
+    n: int = 1000,
+    max_cycles: int = 10_000,
+) -> PullModelResult:
+    """Mean-field model of push rumor mongering, feedback + counter.
+
+    Infective sites push once per cycle to a uniform target.  The push
+    is unnecessary with probability ``1 - s`` (the target already
+    knows), advancing the sender's counter; ``k`` unnecessary pushes
+    remove it.  A susceptible is infected when at least one infective
+    targeted it: per cycle a fraction ``1 - e^{-i}`` of susceptibles is
+    hit (Poisson approximation of ``i n`` throws over ``n`` targets).
+
+    The model reproduces Table 1's structure: ``s = e^{-m}`` with
+    residue falling roughly geometrically in ``k``.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if n < 2:
+        raise ValueError("need at least two sites")
+    s = 1.0 - 1.0 / n
+    inf = [0.0] * k
+    inf[0] = 1.0 / n
+    traffic = 0.0
+    history = [s]
+    floor = 1.0 / (10.0 * n)
+    cycles = 0
+    while sum(inf) > floor and cycles < max_cycles:
+        i_total = sum(inf)
+        traffic += i_total            # every infective pushes once
+        newly_infected = s * (1.0 - math.exp(-i_total))
+        useless_p = 1.0 - s           # sender's target already knew
+        new_inf = [0.0] * k
+        for c in range(k):
+            new_inf[c] += inf[c] * (1.0 - useless_p)
+            if c + 1 < k:
+                new_inf[c + 1] += inf[c] * useless_p
+            # c + 1 == k: removed.
+        new_inf[0] += newly_infected
+        s -= newly_infected
+        inf = new_inf
+        history.append(s)
+        cycles += 1
+    return PullModelResult(
+        residue=s, traffic=traffic, cycles=cycles, susceptible_history=history
+    )

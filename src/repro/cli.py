@@ -1,0 +1,276 @@
+"""Command-line interface: regenerate any paper table or figure.
+
+    python -m repro table1 --runs 50
+    python -m repro table4 --runs 250
+    python -m repro pathologies
+    python -m repro tau
+    python -m repro all --runs 10
+
+Each subcommand prints the measured table next to the paper's values
+(where the paper gives absolute numbers).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments.report import format_table
+
+RUMOR_HEADERS = ["k", "residue", "m", "t_ave", "t_last"]
+SPATIAL_HEADERS = [
+    "dist", "t_last", "t_ave", "cmp avg", "cmp Bushey", "upd avg", "upd Bushey",
+]
+
+
+def _print_rumor_table(rows, paper, title: str) -> None:
+    print(format_table(RUMOR_HEADERS, [r.as_tuple() for r in rows], title))
+    print(format_table(RUMOR_HEADERS, paper, title="paper"))
+    print()
+
+
+def cmd_table1(args) -> None:
+    from repro.experiments.tables import PAPER_TABLE1, table1
+
+    rows = table1(n=args.n, runs=args.runs)
+    _print_rumor_table(rows, PAPER_TABLE1, "Table 1: push, feedback+counter")
+
+
+def cmd_table2(args) -> None:
+    from repro.experiments.tables import PAPER_TABLE2, table2
+
+    rows = table2(n=args.n, runs=args.runs)
+    _print_rumor_table(rows, PAPER_TABLE2, "Table 2: push, blind+coin")
+
+
+def cmd_table3(args) -> None:
+    from repro.experiments.tables import PAPER_TABLE3, table3
+
+    rows = table3(n=args.n, runs=args.runs)
+    _print_rumor_table(rows, PAPER_TABLE3, "Table 3: pull, feedback+counter")
+
+
+def _spatial(args, policy) -> None:
+    from repro.experiments.spatial import spatial_table
+
+    rows = spatial_table(runs=args.runs, policy=policy)
+    print(
+        format_table(
+            SPATIAL_HEADERS,
+            [r.as_tuple() for r in rows],
+            title="synthetic CIN (paper values are for the real CIN; see EXPERIMENTS.md)",
+        )
+    )
+    print()
+
+
+def cmd_table4(args) -> None:
+    from repro.sim.transport import UNLIMITED
+
+    print("Table 4: push-pull anti-entropy, no connection limit")
+    _spatial(args, UNLIMITED)
+
+
+def cmd_table5(args) -> None:
+    from repro.sim.transport import ConnectionPolicy
+
+    print("Table 5: push-pull anti-entropy, connection limit 1, hunt 0")
+    _spatial(args, ConnectionPolicy(connection_limit=1, hunt_limit=0))
+
+
+def cmd_pathologies(args) -> None:
+    from repro.experiments.pathologies import (
+        backup_fixes_pathology,
+        figure1_experiment,
+        figure2_experiment,
+    )
+
+    trials = args.runs * 5
+    fig1 = figure1_experiment(m=20, k=2, trials=trials)
+    fig2 = figure2_experiment(trials=trials)
+    fixed = backup_fixes_pathology(trials=args.runs)
+    print(
+        format_table(
+            ["experiment", "trials", "failures", "notes"],
+            [
+                ("Figure 1 push k=2", fig1.trials, fig1.failures,
+                 f"{fig1.died_in_pair} died in {{s,t}}"),
+                ("Figure 2 push k=2", fig2.trials, fig2.failures,
+                 f"{fig2.missed_lonely} missed the lonely site"),
+                ("Figure 1 + anti-entropy backup", fixed.trials, fixed.failures,
+                 "backup guarantees coverage"),
+            ],
+            title="Section 3.2 pathologies (Q^-2 spatial rumors)",
+        )
+    )
+    print()
+
+
+def cmd_deathcerts(args) -> None:
+    from repro.experiments.deathcert_scenarios import (
+        dormant_certificate_scenario,
+        fixed_threshold_scenario,
+        reinstatement_scenario,
+        resurrection_scenario,
+    )
+
+    rows = [
+        ("naive delete", resurrection_scenario(use_certificate=False).resurrected),
+        ("death certificate", resurrection_scenario(use_certificate=True).resurrected),
+        ("fixed threshold tau1", fixed_threshold_scenario().resurrected),
+        ("dormant certificates", dormant_certificate_scenario().resurrected),
+        ("reinstatement cancelled?",
+         not reinstatement_scenario().value_visible_everywhere),
+    ]
+    print(
+        format_table(
+            ["scenario", "item resurrected / lost"],
+            rows,
+            title="Section 2: deletion scenarios",
+        )
+    )
+    print()
+
+
+def cmd_backup(args) -> None:
+    from repro.experiments.backup_scenarios import compare_recovery_strategies
+
+    results = compare_recovery_strategies(n=args.n if args.n <= 500 else 150)
+    print(
+        format_table(
+            ["strategy", "update sends", "mail messages", "cycles", "complete"],
+            [
+                (r.strategy, r.update_sends, r.mail_messages,
+                 r.cycles_to_converge, r.converged)
+                for r in results
+            ],
+            title="Section 1.5: recovery from 50% coverage",
+        )
+    )
+    print()
+
+
+def cmd_line(args) -> None:
+    from repro.experiments.spatial import line_scaling
+
+    rows = line_scaling(runs=max(2, args.runs // 3))
+    print(
+        format_table(
+            ["n", "a", "link traffic/cycle", "t_last"],
+            [(r.n, r.a, r.mean_link_traffic, r.t_last) for r in rows],
+            title="Section 3: d^-a on a line",
+        )
+    )
+    print()
+
+
+def cmd_tau(args) -> None:
+    from repro.experiments.workloads import checksum_tau_experiment
+
+    results = checksum_tau_experiment(cycles=max(40, args.runs * 5))
+    print(
+        format_table(
+            ["tau", "checksum success", "entries/exchange", "full compares"],
+            [
+                (r.tau, r.checksum_success_rate,
+                 r.entries_examined_per_exchange, r.full_compare_rate)
+                for r in results
+            ],
+            title="Section 1.3: choosing tau under continuous load",
+        )
+    )
+    print()
+
+
+def cmd_hierarchy(args) -> None:
+    from repro.experiments.spatial import spatial_table
+    from repro.topology.cin import build_cin_like_topology
+    from repro.topology.distance import SiteDistances
+    from repro.topology.hierarchy import HierarchicalSelector
+    from repro.topology.spatial import SortedListSelector, UniformSelector
+
+    cin = build_cin_like_topology()
+    distances = SiteDistances(cin.topology)
+    selectors = [
+        ("uniform", UniformSelector(cin.sites)),
+        ("a=2.0", SortedListSelector(distances, a=2.0)),
+        ("hierarchy", HierarchicalSelector(distances, backbone_count=16)),
+    ]
+    rows = spatial_table(cin=cin, runs=args.runs, selectors=selectors)
+    print(
+        format_table(
+            SPATIAL_HEADERS,
+            [r.as_tuple() for r in rows],
+            title="Section 4 extension: dynamic hierarchy",
+        )
+    )
+    print()
+
+
+COMMANDS: Dict[str, Callable] = {
+    "table1": cmd_table1,
+    "table2": cmd_table2,
+    "table3": cmd_table3,
+    "table4": cmd_table4,
+    "table5": cmd_table5,
+    "pathologies": cmd_pathologies,
+    "deathcerts": cmd_deathcerts,
+    "backup": cmd_backup,
+    "line": cmd_line,
+    "tau": cmd_tau,
+    "hierarchy": cmd_hierarchy,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate tables and figures from 'Epidemic Algorithms "
+        "for Replicated Database Maintenance' (PODC 1987).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(COMMANDS) + ["all"],
+        help="which experiment to run ('all' runs every one)",
+    )
+    parser.add_argument(
+        "--runs", type=int, default=10,
+        help="trials per table row (paper used up to 250; default 10)",
+    )
+    parser.add_argument(
+        "--n", type=int, default=1000,
+        help="population for the uniform-network tables (default 1000)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.runs < 1:
+        print("error: --runs must be >= 1", file=sys.stderr)
+        return 2
+    if args.n < 2:
+        print("error: --n must be >= 2", file=sys.stderr)
+        return 2
+    try:
+        if args.experiment == "all":
+            for name in sorted(COMMANDS):
+                print(f"=== {name} ===")
+                COMMANDS[name](args)
+        else:
+            COMMANDS[args.experiment](args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        import os
+
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+        os._exit(0)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

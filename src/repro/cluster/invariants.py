@@ -1,0 +1,110 @@
+"""Global invariant checking for simulations.
+
+The algorithms' correctness rests on a handful of structural
+invariants that should hold at *every* cycle boundary, regardless of
+protocol mix, faults, or workload.  :class:`InvariantChecker` verifies
+them after each cycle (attach it last) and raises
+:class:`InvariantViolation` with a precise description on the first
+breach — the simulation equivalent of an assertion-heavy debug build.
+
+Checked invariants:
+
+* **checksum** — every store's incremental checksum equals a fresh
+  recomputation;
+* **index** — every store's timestamp index lists exactly its entries;
+* **certificate sanity** — activation timestamps never precede
+  ordinary timestamps; dormant tables never shadow an active entry
+  for the same key with an older certificate;
+* **monotonicity** — per (site, key), the entry timestamp never moves
+  backwards between cycles (last-writer-wins can only go forward);
+* **rumor grounding** — a hot rumor's entry is never newer than what
+  the site's own store holds (rumors advertise state, they do not
+  invent it).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Tuple
+
+from repro.core.timestamps import Timestamp
+from repro.protocols.base import Protocol
+from repro.protocols.rumor import RumorMongeringProtocol
+
+
+class InvariantViolation(AssertionError):
+    """A structural invariant failed; the message names site and key."""
+
+
+class InvariantChecker(Protocol):
+    """Verifies cluster-wide invariants at the end of every cycle."""
+
+    name = "invariant-checker"
+
+    def __init__(self, check_every: int = 1):
+        super().__init__()
+        if check_every < 1:
+            raise ValueError("check_every must be >= 1")
+        self.check_every = check_every
+        self.checks_run = 0
+        self._last_stamps: Dict[Tuple[int, Hashable], Timestamp] = {}
+
+    def run_cycle(self, cycle: int) -> None:
+        if cycle % self.check_every != 0:
+            return
+        self.check_now()
+
+    def check_now(self) -> None:
+        """Run all checks immediately (also usable from tests)."""
+        self.checks_run += 1
+        for site_id in self.cluster.site_ids:
+            self._check_store(site_id)
+        self._check_rumors()
+
+    # ------------------------------------------------------------------
+
+    def _check_store(self, site_id: int) -> None:
+        store = self.cluster.sites[site_id].store
+        if store.checksum != store.recompute_checksum():
+            raise InvariantViolation(
+                f"site {site_id}: incremental checksum diverged from content"
+            )
+        indexed = {u.key: u.entry.timestamp for u in store.updates_newest_first()}
+        actual = {key: entry.timestamp for key, entry in store.entries()}
+        if indexed != actual:
+            missing = actual.keys() ^ indexed.keys()
+            raise InvariantViolation(
+                f"site {site_id}: timestamp index out of sync (keys {missing})"
+            )
+        for key, entry in store.entries():
+            if entry.is_deletion and entry.activation_timestamp < entry.timestamp:
+                raise InvariantViolation(
+                    f"site {site_id} key {key!r}: activation precedes ordinary"
+                )
+            previous = self._last_stamps.get((site_id, key))
+            if previous is not None and entry.timestamp < previous:
+                raise InvariantViolation(
+                    f"site {site_id} key {key!r}: timestamp moved backwards "
+                    f"({previous} -> {entry.timestamp})"
+                )
+            self._last_stamps[(site_id, key)] = entry.timestamp
+            dormant = store.dormant_certificate(key)
+            if dormant is not None and not entry.is_deletion:
+                if dormant.supersedes(entry):
+                    raise InvariantViolation(
+                        f"site {site_id} key {key!r}: live entry older than "
+                        f"its dormant certificate (missed cancellation)"
+                    )
+
+    def _check_rumors(self) -> None:
+        for protocol in self.cluster.protocols:
+            if not isinstance(protocol, RumorMongeringProtocol):
+                continue
+            for site_id in self.cluster.site_ids:
+                store = self.cluster.sites[site_id].store
+                for key, rumor in protocol.hot_rumors(site_id).items():
+                    held = store.entry(key)
+                    if held is None or rumor.entry.timestamp > held.timestamp:
+                        raise InvariantViolation(
+                            f"site {site_id} key {key!r}: hot rumor newer "
+                            f"than the site's own store"
+                        )

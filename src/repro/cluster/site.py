@@ -1,0 +1,37 @@
+"""One database site: a replica store plus its random stream and clock."""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+from repro.core.store import ReplicaStore
+from repro.core.timestamps import SimClock
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.cluster import Cluster
+
+
+class Site:
+    """A Clearinghouse-server-like site participating in a cluster.
+
+    Protocol state (hot-rumor lists, counters) is owned by the protocol
+    objects, keyed by site id; the site itself only carries the pieces
+    every protocol shares: the store, the clock and the random stream
+    that drives this site's independent choices.
+    """
+
+    __slots__ = ("id", "store", "clock", "rng", "up")
+
+    def __init__(self, site_id: int, clock: SimClock, rng: random.Random):
+        self.id = site_id
+        self.clock = clock
+        self.rng = rng
+        self.store = ReplicaStore(site_id=site_id, clock=clock)
+        # Failure injection: a down site neither initiates nor accepts
+        # conversations and loses no state (stores are stable storage).
+        self.up = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "up" if self.up else "down"
+        return f"Site({self.id}, {status}, {len(self.store)} entries)"

@@ -1,0 +1,28 @@
+"""Core replicated-database primitives.
+
+This package implements the data model of Section 1.1 of the paper:
+each site stores a partial function ``key -> (value, timestamp)`` where a
+``NIL`` value represents a deletion, plus the supporting machinery the
+distribution protocols rely on (incremental checksums, recent-update
+lists, a timestamp-ordered index for *peel back*, and death
+certificates with activation timestamps).
+"""
+
+from repro.core.timestamps import Timestamp, Clock, SequenceClock, SimClock
+from repro.core.items import NIL, VersionedValue, DeathCertificate
+from repro.core.checksum import DatabaseChecksum, entry_digest
+from repro.core.store import ReplicaStore, StoreUpdate
+
+__all__ = [
+    "Timestamp",
+    "Clock",
+    "SequenceClock",
+    "SimClock",
+    "NIL",
+    "VersionedValue",
+    "DeathCertificate",
+    "DatabaseChecksum",
+    "entry_digest",
+    "ReplicaStore",
+    "StoreUpdate",
+]

@@ -1,0 +1,131 @@
+"""A doubly-linked activity order over database keys (Section 1.5).
+
+The combined *peel back + rumor mongering* scheme replaces the
+timestamp index with "a doubly-linked list ... to maintain a local
+activity order: sites send updates according to their local list order
+... useful updates are moved to the front of their respective lists,
+while the useless updates slip gradually deeper."
+
+This is that list: O(1) push-front, move-to-front, and removal, plus
+ordered iteration from the hot end.  Every key appears at most once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, List, Optional
+
+
+class _Node:
+    __slots__ = ("key", "prev", "next")
+
+    def __init__(self, key: Hashable):
+        self.key = key
+        self.prev: Optional["_Node"] = None
+        self.next: Optional["_Node"] = None
+
+
+class ActivityOrder:
+    """Keys ordered by recency of useful activity (front = hottest)."""
+
+    def __init__(self) -> None:
+        self._head: Optional[_Node] = None
+        self._tail: Optional[_Node] = None
+        self._nodes: Dict[Hashable, _Node] = {}
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._nodes
+
+    # ------------------------------------------------------------------
+
+    def touch(self, key: Hashable) -> None:
+        """Record useful activity on ``key``: move (or insert) it at the
+        front of the list."""
+        node = self._nodes.get(key)
+        if node is None:
+            node = _Node(key)
+            self._nodes[key] = node
+        else:
+            if node is self._head:
+                return
+            self._unlink(node)
+        self._push_front(node)
+
+    def demote(self, key: Hashable, positions: int = 1) -> None:
+        """Let a useless key slip ``positions`` places deeper."""
+        node = self._nodes.get(key)
+        if node is None:
+            return
+        anchor = node
+        for __ in range(positions):
+            if anchor.next is None:
+                break
+            anchor = anchor.next
+        if anchor is node:
+            return
+        self._unlink(node)
+        # Insert node after anchor.
+        node.prev = anchor
+        node.next = anchor.next
+        if anchor.next is not None:
+            anchor.next.prev = node
+        else:
+            self._tail = node
+        anchor.next = node
+
+    def discard(self, key: Hashable) -> None:
+        node = self._nodes.pop(key, None)
+        if node is not None:
+            self._unlink(node)
+
+    def front(self) -> Optional[Hashable]:
+        return self._head.key if self._head is not None else None
+
+    def keys_front_to_back(self) -> Iterator[Hashable]:
+        node = self._head
+        while node is not None:
+            yield node.key
+            node = node.next
+
+    def batch(self, start: int, size: int) -> List[Hashable]:
+        """The ``size`` keys beginning at position ``start``."""
+        result: List[Hashable] = []
+        node = self._head
+        index = 0
+        while node is not None and len(result) < size:
+            if index >= start:
+                result.append(node.key)
+            node = node.next
+            index += 1
+        return result
+
+    def position(self, key: Hashable) -> Optional[int]:
+        """O(n) position lookup — for tests and diagnostics only."""
+        for index, candidate in enumerate(self.keys_front_to_back()):
+            if candidate == key:
+                return index
+        return None
+
+    # ------------------------------------------------------------------
+
+    def _push_front(self, node: _Node) -> None:
+        node.prev = None
+        node.next = self._head
+        if self._head is not None:
+            self._head.prev = node
+        self._head = node
+        if self._tail is None:
+            self._tail = node
+
+    def _unlink(self, node: _Node) -> None:
+        if node.prev is not None:
+            node.prev.next = node.next
+        else:
+            self._head = node.next
+        if node.next is not None:
+            node.next.prev = node.prev
+        else:
+            self._tail = node.prev
+        node.prev = node.next = None

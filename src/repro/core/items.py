@@ -1,0 +1,158 @@
+"""Database items: versioned values and death certificates (Sections 1.1, 2).
+
+The client-visible database maps keys to ``(value, timestamp)`` pairs.  A
+value of :data:`NIL` means "deleted as of that timestamp"; from a client's
+perspective a NIL entry is indistinguishable from an absent entry, but the
+propagation machinery must keep it around as a *death certificate* so the
+deletion spreads instead of the deleted item being resurrected.
+
+Death certificates additionally carry (Section 2.2):
+
+* an **activation timestamp** — initially equal to the ordinary timestamp;
+  reactivation sets it forward without touching the ordinary timestamp, so
+  a reactivated certificate propagates again without cancelling legitimate
+  updates newer than the original deletion; and
+* a list of **retention sites** — the ``r`` sites that keep a *dormant*
+  copy of the certificate after the first threshold ``tau1`` expires.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Hashable, Tuple
+
+from repro.core.timestamps import Timestamp
+
+
+class _Nil:
+    """Singleton sentinel for the distinguished value NIL."""
+
+    _instance = None
+
+    def __new__(cls) -> "_Nil":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "NIL"
+
+    def __reduce__(self):  # keep singleton identity across pickling
+        return (_Nil, ())
+
+
+NIL = _Nil()
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class VersionedValue:
+    """An ordinary database entry: ``(v, t)`` with ``v != NIL``."""
+
+    value: Any
+    timestamp: Timestamp
+
+    @property
+    def is_deletion(self) -> bool:
+        return False
+
+    def supersedes(self, other: "VersionedValue | DeathCertificate | None") -> bool:
+        """Last-writer-wins: a larger timestamp always supersedes."""
+        return other is None or self.timestamp > other.timestamp
+
+    def encode(self) -> bytes:
+        """Canonical encoding used by the database checksum."""
+        return b"V|" + repr(self.value).encode("utf-8") + b"|" + self.timestamp.encode()
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class DeathCertificate:
+    """A deletion entry: ``(NIL, t)`` plus activation metadata.
+
+    ``timestamp`` is the *ordinary* timestamp: it decides which entries
+    the certificate cancels.  ``activation_timestamp`` decides dormancy
+    and propagation (Section 2.2).  ``retention_sites`` are the sites
+    that hold a dormant copy between ``tau1`` and ``tau1 + tau2``.
+    """
+
+    timestamp: Timestamp
+    activation_timestamp: Timestamp
+    retention_sites: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.activation_timestamp < self.timestamp:
+            raise ValueError(
+                "activation timestamp must not precede the ordinary timestamp"
+            )
+
+    @property
+    def value(self) -> _Nil:
+        return NIL
+
+    @property
+    def is_deletion(self) -> bool:
+        return True
+
+    def supersedes(self, other: "VersionedValue | DeathCertificate | None") -> bool:
+        """A certificate cancels any entry with a smaller ordinary timestamp."""
+        return other is None or self.timestamp > other.timestamp
+
+    def reactivated(self, now: float) -> "DeathCertificate":
+        """Return a copy activated at local time ``now``.
+
+        The ordinary timestamp is left unchanged so that updates newer
+        than the original deletion are not cancelled; only the
+        activation timestamp moves forward (Section 2.2).
+        """
+        return DeathCertificate(
+            timestamp=self.timestamp,
+            activation_timestamp=self.activation_timestamp.advanced_to(now),
+            retention_sites=self.retention_sites,
+        )
+
+    def is_expired(self, now: float, tau1: float) -> bool:
+        """True when ordinary (non-retention) sites should drop it."""
+        return self.activation_timestamp.age(now) > tau1
+
+    def is_dormant(self, now: float, tau1: float) -> bool:
+        """Alias for :meth:`is_expired` from a retention site's view."""
+        return self.is_expired(now, tau1)
+
+    def is_discardable(self, now: float, tau1: float, tau2: float) -> bool:
+        """True when even retention sites should drop it."""
+        return self.activation_timestamp.age(now) > tau1 + tau2
+
+    def encode(self) -> bytes:
+        """Canonical encoding used by the database checksum.
+
+        Only the ordinary timestamp participates: two replicas whose
+        visible contents agree must produce equal checksums even if one
+        has reactivated a certificate the other has not yet seen.
+        """
+        return b"D|" + self.timestamp.encode()
+
+
+Entry = VersionedValue | DeathCertificate
+
+
+def make_entry(value: Any, timestamp: Timestamp) -> Entry:
+    """Build the right entry type for ``value``: NIL becomes a certificate."""
+    if value is NIL or value is None:
+        return DeathCertificate(timestamp=timestamp, activation_timestamp=timestamp)
+    return VersionedValue(value=value, timestamp=timestamp)
+
+
+def newer(a: Entry | None, b: Entry | None) -> Entry | None:
+    """Return whichever entry wins last-writer-wins, or ``None`` if both absent."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return a if a.timestamp >= b.timestamp else b
+
+
+def validate_key(key: Hashable) -> Hashable:
+    """Reject unhashable or None keys early with a clear error."""
+    if key is None:
+        raise ValueError("database keys must not be None")
+    hash(key)  # raises TypeError for unhashable keys
+    return key

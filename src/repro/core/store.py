@@ -1,0 +1,379 @@
+"""The per-site replicated database (Sections 1.1, 1.3, 2).
+
+A :class:`ReplicaStore` is the state one site keeps for one replicated
+database (in Clearinghouse terms, one *domain*):
+
+* the active entry table ``key -> (value, timestamp)`` with last-writer-
+  wins conflict resolution, where deletions are death certificates;
+* an incrementally maintained order-independent checksum of the active
+  table (Section 1.3's checksum optimization);
+* a timestamp-ordered inverted index supporting *recent update lists*
+  and *peel back* exchanges; and
+* a dormant death-certificate table for the retention-site scheme of
+  Section 2.1, including activation-timestamp reactivation (2.2).
+
+The store is deliberately independent of any protocol or simulator: the
+epidemic protocols call :meth:`apply_entry` with entries received from
+peers and interpret the returned :class:`ApplyResult`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Any, Dict, Hashable, Iterator, List, Tuple
+
+from repro.core.checksum import DatabaseChecksum
+from repro.core.items import (
+    NIL,
+    DeathCertificate,
+    Entry,
+    VersionedValue,
+    validate_key,
+)
+from repro.core.timestamps import Clock, SequenceClock, Timestamp
+from repro.core.tsindex import TimestampIndex
+
+
+class ApplyResult(enum.Enum):
+    """Outcome of merging a received entry into the local store.
+
+    ``APPLIED``, ``REACTIVATED`` and ``RESURRECTION_BLOCKED`` all mean the
+    received data changed local state (it was "news"); ``EQUAL`` means the
+    replicas already agreed on this key; ``STALE`` means the local entry is
+    newer — for pull and push-pull exchanges the receiver should offer its
+    own entry back to the sender.
+    """
+
+    APPLIED = "applied"
+    REACTIVATED = "reactivated"
+    RESURRECTION_BLOCKED = "resurrection-blocked"
+    EQUAL = "equal"
+    STALE = "stale"
+
+    @property
+    def was_news(self) -> bool:
+        return self in (
+            ApplyResult.APPLIED,
+            ApplyResult.REACTIVATED,
+            ApplyResult.RESURRECTION_BLOCKED,
+        )
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class StoreUpdate:
+    """A ``(key, entry)`` pair as shipped between sites."""
+
+    key: Hashable
+    entry: Entry
+
+    @property
+    def timestamp(self) -> Timestamp:
+        return self.entry.timestamp
+
+
+@dataclasses.dataclass(slots=True)
+class SweepStats:
+    """Result of one death-certificate expiry sweep."""
+
+    expired: int = 0
+    made_dormant: int = 0
+    discarded_dormant: int = 0
+
+
+class ReplicaStore:
+    """One site's copy of the replicated database."""
+
+    def __init__(self, site_id: int = 0, clock: Clock | None = None):
+        self.site_id = site_id
+        self.clock = clock if clock is not None else SequenceClock(site=site_id)
+        self._entries: Dict[Hashable, Entry] = {}
+        self._dormant: Dict[Hashable, DeathCertificate] = {}
+        self._checksum = DatabaseChecksum()
+        self._index = TimestampIndex()
+        # When a certificate-expiry policy is active (set by the
+        # DeathCertificateManager), incoming certificates already older
+        # than tau1 are not re-adopted unless they actually cancel
+        # something: otherwise an expired certificate would bounce
+        # forever between sites that have swept it and sites that
+        # haven't.
+        self.certificate_ttl: float | None = None
+
+    # ------------------------------------------------------------------
+    # Client operations (Section 1.1)
+    # ------------------------------------------------------------------
+
+    def update(self, key: Hashable, value: Any) -> StoreUpdate:
+        """Client write: ``s.ValueOf[k] <- (v, Now[])``.
+
+        Returns the :class:`StoreUpdate` so the caller (typically a
+        distribution protocol) can start spreading it.
+        """
+        validate_key(key)
+        if value is NIL or value is None:
+            raise ValueError("use delete() to remove a key")
+        entry = VersionedValue(value=value, timestamp=self.clock.next_timestamp())
+        self._put(key, entry)
+        return StoreUpdate(key=key, entry=entry)
+
+    def delete(self, key: Hashable, retention_sites: Tuple[int, ...] = ()) -> StoreUpdate:
+        """Client delete: install a death certificate for ``key``.
+
+        ``retention_sites`` are the ``r`` randomly chosen sites that will
+        hold a dormant copy of the certificate (Section 2.1); an empty
+        tuple gives the plain fixed-threshold behavior.
+        """
+        validate_key(key)
+        stamp = self.clock.next_timestamp()
+        certificate = DeathCertificate(
+            timestamp=stamp,
+            activation_timestamp=stamp,
+            retention_sites=tuple(retention_sites),
+        )
+        self._put(key, certificate)
+        return StoreUpdate(key=key, entry=certificate)
+
+    def get(self, key: Hashable) -> Any:
+        """Client read: the value, or ``None`` when absent or deleted."""
+        entry = self._entries.get(key)
+        if entry is None or entry.is_deletion:
+            return None
+        return entry.value
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Client-visible membership (deleted keys are absent)."""
+        entry = self._entries.get(key)
+        return entry is not None and not entry.is_deletion
+
+    # ------------------------------------------------------------------
+    # Replication-facing accessors
+    # ------------------------------------------------------------------
+
+    def entry(self, key: Hashable) -> Entry | None:
+        """The raw active entry for ``key`` (certificates included)."""
+        return self._entries.get(key)
+
+    def dormant_certificate(self, key: Hashable) -> DeathCertificate | None:
+        return self._dormant.get(key)
+
+    def entries(self) -> Iterator[Tuple[Hashable, Entry]]:
+        """All active entries in unspecified order."""
+        return iter(self._entries.items())
+
+    def updates(self) -> Iterator[StoreUpdate]:
+        for key, entry in self._entries.items():
+            yield StoreUpdate(key=key, entry=entry)
+
+    def keys(self) -> Iterator[Hashable]:
+        return iter(self._entries.keys())
+
+    def visible_items(self) -> Iterator[Tuple[Hashable, Any]]:
+        """Client-visible ``(key, value)`` pairs (no deletions)."""
+        for key, entry in self._entries.items():
+            if not entry.is_deletion:
+                yield key, entry.value
+
+    def __len__(self) -> int:
+        """Number of active entries, including death certificates."""
+        return len(self._entries)
+
+    def visible_count(self) -> int:
+        return sum(1 for __ in self.visible_items())
+
+    def dormant_count(self) -> int:
+        return len(self._dormant)
+
+    # ------------------------------------------------------------------
+    # Checksums and ordered views (Section 1.3)
+    # ------------------------------------------------------------------
+
+    @property
+    def checksum(self) -> int:
+        """The incrementally maintained checksum of the active table."""
+        return self._checksum.value
+
+    def recompute_checksum(self) -> int:
+        """Checksum from scratch — used by tests to validate the invariant."""
+        return DatabaseChecksum.of(
+            (key, entry.encode()) for key, entry in self._entries.items()
+        ).value
+
+    def recent_updates(self, tau: float) -> List[StoreUpdate]:
+        """Entries whose age (by the local clock) is less than ``tau``.
+
+        This is the *recent update list* exchanged before the checksum
+        comparison (Section 1.3).  Newest first.
+        """
+        now = self.clock.now()
+        recent: List[StoreUpdate] = []
+        for key, stamp in self._index.newest_first():
+            if stamp.age(now) >= tau:
+                break
+            recent.append(StoreUpdate(key=key, entry=self._entries[key]))
+        return recent
+
+    def updates_newest_first(self) -> Iterator[StoreUpdate]:
+        """All active entries in reverse timestamp order (*peel back*)."""
+        for key, __ in self._index.newest_first():
+            yield StoreUpdate(key=key, entry=self._entries[key])
+
+    # ------------------------------------------------------------------
+    # Merging entries received from peers
+    # ------------------------------------------------------------------
+
+    def apply_update(self, update: StoreUpdate) -> ApplyResult:
+        return self.apply_entry(update.key, update.entry)
+
+    def apply_entry(self, key: Hashable, entry: Entry) -> ApplyResult:
+        """Merge an entry received from another site.
+
+        Implements last-writer-wins on the ordinary timestamp, plus the
+        two death-certificate subtleties of Section 2:
+
+        * a *dormant* local certificate newer than an incoming ordinary
+          value blocks the resurrection and is reactivated (its
+          activation timestamp is set to the local current time and it
+          re-enters the active table so it propagates again); and
+        * two copies of the *same* certificate merge by taking the later
+          activation timestamp, so reactivations themselves spread.
+        """
+        validate_key(key)
+        if (
+            entry.is_deletion
+            and self.certificate_ttl is not None
+            and entry.is_expired(self.clock.now(), self.certificate_ttl)
+        ):
+            current = self._entries.get(key)
+            if current is None or not entry.supersedes(current):
+                # An expired certificate that cancels nothing here is
+                # old news, not fresh state to re-adopt.
+                return ApplyResult.STALE
+        dormant = self._dormant.get(key)
+        if dormant is not None:
+            if entry.is_deletion and entry.timestamp >= dormant.timestamp:
+                # The incoming certificate supersedes our dormant one.
+                del self._dormant[key]
+            elif not entry.is_deletion and dormant.supersedes(entry):
+                # Obsolete data met a dormant certificate: awaken it
+                # (Section 2.1's "immune reaction").
+                del self._dormant[key]
+                awakened = dormant.reactivated(self.clock.now())
+                self._put(key, awakened)
+                return ApplyResult.RESURRECTION_BLOCKED
+            elif not entry.is_deletion:
+                # Entry is a legitimate reinstatement newer than the
+                # dormant certificate; the certificate is obsolete.
+                del self._dormant[key]
+
+        current = self._entries.get(key)
+        if current is None or entry.timestamp > current.timestamp:
+            self._put(key, entry)
+            return ApplyResult.APPLIED
+        if entry.timestamp < current.timestamp:
+            return ApplyResult.STALE
+        # Identical ordinary timestamps: globally unique timestamps mean
+        # this is the same logical update.  For certificates, adopt the
+        # later activation timestamp so reactivations propagate.
+        if (
+            entry.is_deletion
+            and current.is_deletion
+            and entry.activation_timestamp > current.activation_timestamp
+        ):
+            self._put(key, entry)
+            return ApplyResult.REACTIVATED
+        return ApplyResult.EQUAL
+
+    def purge(self, key: Hashable) -> bool:
+        """Remove an entry outright, with NO death certificate.
+
+        This is *not* a client operation: Section 2 explains that naive
+        removal is wrong — the propagation mechanisms resurrect the item
+        from other replicas.  It exists so the experiments can
+        demonstrate exactly that failure, and as the primitive the
+        certificate expiry sweep uses.
+        """
+        if key not in self._entries:
+            return False
+        self._drop(key)
+        return True
+
+    # ------------------------------------------------------------------
+    # Death-certificate lifecycle (Sections 2.1, 2.2)
+    # ------------------------------------------------------------------
+
+    def sweep_certificates(self, tau1: float, tau2: float = float("inf")) -> SweepStats:
+        """Expire old death certificates.
+
+        Active certificates whose activation timestamp is older than
+        ``tau1`` are dropped — unless this site appears on the
+        certificate's retention list, in which case a dormant copy is
+        kept.  Dormant certificates older than ``tau1 + tau2`` are
+        discarded entirely.
+        """
+        now = self.clock.now()
+        stats = SweepStats()
+        expired_keys = [
+            key
+            for key, entry in self._entries.items()
+            if entry.is_deletion and entry.is_expired(now, tau1)
+        ]
+        for key in expired_keys:
+            certificate = self._entries[key]
+            self._drop(key)
+            stats.expired += 1
+            if self.site_id in certificate.retention_sites:
+                self._dormant[key] = certificate
+                stats.made_dormant += 1
+        discard_keys = [
+            key
+            for key, certificate in self._dormant.items()
+            if certificate.is_discardable(now, tau1, tau2)
+        ]
+        for key in discard_keys:
+            del self._dormant[key]
+            stats.discarded_dormant += 1
+        return stats
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _put(self, key: Hashable, entry: Entry) -> None:
+        old = self._entries.get(key)
+        self._checksum.replace(key, old.encode() if old is not None else None, entry.encode())
+        self._entries[key] = entry
+        self._index.set(key, entry.timestamp)
+
+    def _drop(self, key: Hashable) -> None:
+        entry = self._entries.pop(key)
+        self._checksum.remove(key, entry.encode())
+        self._index.discard(key)
+
+    def snapshot(self) -> Dict[Hashable, Entry]:
+        """A shallow copy of the active table (entries are immutable)."""
+        return dict(self._entries)
+
+    def agrees_with(self, other: "ReplicaStore") -> bool:
+        """True when the two active tables are identical.
+
+        Certificate activation timestamps are ignored, matching the
+        checksum definition: replicas that differ only in how long they
+        will retain a certificate still *agree* on database content.
+        """
+        if len(self._entries) != len(other._entries):
+            return False
+        for key, entry in self._entries.items():
+            theirs = other._entries.get(key)
+            if theirs is None or theirs.timestamp != entry.timestamp:
+                return False
+            if entry.is_deletion != theirs.is_deletion:
+                return False
+            if not entry.is_deletion and entry.value != theirs.value:
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ReplicaStore(site={self.site_id}, entries={len(self._entries)}, "
+            f"dormant={len(self._dormant)})"
+        )

@@ -1,0 +1,24 @@
+"""Experiment drivers: one per table / figure of the paper.
+
+Shared by the benchmark suite (``benchmarks/``) and the examples; each
+driver returns plain dataclass rows so callers can print, assert on, or
+plot them.
+
+* :mod:`repro.experiments.tables` — Tables 1-3 (rumor-mongering
+  variants on 1000 uniform sites);
+* :mod:`repro.experiments.spatial` — Tables 4-5 (anti-entropy with
+  spatial distributions on the synthetic CIN) and the Section 3 line
+  scaling study;
+* :mod:`repro.experiments.pathologies` — Figures 1-2 (topologies where
+  spatial rumor mongering fails);
+* :mod:`repro.experiments.baselines` — direct mail reliability, the
+  push/pull anti-entropy endgame, and Pittel's bound;
+* :mod:`repro.experiments.deathcert_scenarios` — Section 2 scenarios
+  (resurrection, dormant certificates, reinstatement);
+* :mod:`repro.experiments.backup_scenarios` — Section 1.5 redistribution
+  cost comparison.
+"""
+
+from repro.experiments.report import format_table
+
+__all__ = ["format_table"]

@@ -1,0 +1,219 @@
+"""Figures 1 and 2 (Section 3.2): topologies that defeat spatial rumors.
+
+Both pathologies rely on isolated sites fairly distant from the rest of
+the network:
+
+* **Figure 1** — two nearby sites ``s`` and ``t`` slightly closer to
+  each other than to a group of ``m`` equidistant sites.  With a
+  ``Q^-2``-style distribution and ``m > k``, push rumor mongering
+  started at ``s`` or ``t`` often dies inside ``{s, t}``; pull can
+  leave ``s`` and ``t`` permanently ignorant of an update from the
+  main group.
+* **Figure 2** — a lone site ``s`` whose distance to the root of a
+  complete binary tree exceeds the tree's height.  Under push, an
+  update born in the tree may stop being hot before anyone contacts
+  ``s``.
+
+The drivers measure failure rates and the ``k`` needed for full
+coverage, and demonstrate the paper's remedy: back rumor mongering
+with anti-entropy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.protocols.backup import AntiEntropyBackup, RecoveryStrategy
+from repro.protocols.base import ExchangeMode
+from repro.protocols.rumor import RumorConfig, RumorMongeringProtocol
+from repro.sim.rng import derive_seed
+from repro.topology import builders
+from repro.topology.distance import SiteDistances
+from repro.topology.graph import Topology
+from repro.topology.spatial import PartnerSelector, QPowerSelector
+
+
+@dataclasses.dataclass(slots=True)
+class PathologyResult:
+    trials: int
+    failures: int                 # runs that left some site susceptible
+    died_in_pair: int             # Figure 1: rumor never left {s, t}
+    missed_lonely: int            # Figure 2: site s never learned it
+
+    @property
+    def failure_rate(self) -> float:
+        return self.failures / self.trials if self.trials else 0.0
+
+
+def _run_rumor(
+    topology: Topology,
+    selector: PartnerSelector,
+    config: RumorConfig,
+    start_site: int,
+    seed: int,
+    max_cycles: int = 2000,
+) -> Tuple[Cluster, "object"]:
+    cluster = Cluster(topology=topology, seed=seed)
+    protocol = RumorMongeringProtocol(config, selector=selector)
+    cluster.add_protocol(protocol)
+    cluster.inject_update(start_site, "the-key", "the-value", track=True)
+    metrics = cluster.metrics
+    cluster.run_until(lambda: not protocol.active, max_cycles=max_cycles)
+    return cluster, metrics
+
+
+def figure1_experiment(
+    m: int = 20,
+    k: int = 2,
+    trials: int = 50,
+    mode: ExchangeMode = ExchangeMode.PUSH,
+    seed: int = 7,
+) -> PathologyResult:
+    """Inject at ``s`` and watch push (or pull) rumors die near home."""
+    topology, s, t, group = builders.figure1_topology(m)
+    distances = SiteDistances(topology)
+    selector = QPowerSelector(distances, a=2.0)
+    config = RumorConfig(mode=mode, feedback=True, counter=True, k=k)
+    failures = 0
+    died_in_pair = 0
+    for trial in range(trials):
+        cluster, metrics = _run_rumor(
+            topology, selector, config, start_site=s, seed=derive_seed(seed, trial)
+        )
+        if not metrics.complete:
+            failures += 1
+            if set(metrics.receipt_times) <= {s, t}:
+                died_in_pair += 1
+    return PathologyResult(
+        trials=trials, failures=failures, died_in_pair=died_in_pair, missed_lonely=0
+    )
+
+
+def figure1_pull_experiment(
+    m: int = 20,
+    k: int = 2,
+    trials: int = 50,
+    seed: int = 8,
+) -> PathologyResult:
+    """Figure 1 under pull: update starts in the main group; do the
+    isolated pair ``{s, t}`` ever learn it?"""
+    topology, s, t, group = builders.figure1_topology(m)
+    distances = SiteDistances(topology)
+    selector = QPowerSelector(distances, a=2.0)
+    config = RumorConfig(mode=ExchangeMode.PULL, feedback=True, counter=True, k=k)
+    failures = 0
+    pair_missed = 0
+    for trial in range(trials):
+        cluster, metrics = _run_rumor(
+            topology,
+            selector,
+            config,
+            start_site=group[trial % len(group)],
+            seed=derive_seed(seed, trial),
+        )
+        if not metrics.complete:
+            failures += 1
+            if s not in metrics.receipt_times or t not in metrics.receipt_times:
+                pair_missed += 1
+    return PathologyResult(
+        trials=trials, failures=failures, died_in_pair=pair_missed, missed_lonely=0
+    )
+
+
+def figure2_experiment(
+    depth: int = 5,
+    spur_length: int = 8,
+    k: int = 2,
+    trials: int = 50,
+    seed: int = 9,
+) -> PathologyResult:
+    """Inject inside the tree; does lonely site ``s`` ever hear of it?"""
+    topology, s, root = builders.figure2_topology(depth, spur_length)
+    distances = SiteDistances(topology)
+    selector = QPowerSelector(distances, a=2.0)
+    config = RumorConfig(mode=ExchangeMode.PUSH, feedback=True, counter=True, k=k)
+    tree_sites = [site for site in topology.sites if site != s]
+    failures = 0
+    missed = 0
+    for trial in range(trials):
+        start = tree_sites[trial % len(tree_sites)]
+        cluster, metrics = _run_rumor(
+            topology, selector, config, start_site=start, seed=derive_seed(seed, trial)
+        )
+        if not metrics.complete:
+            failures += 1
+            if s not in metrics.receipt_times:
+                missed += 1
+    return PathologyResult(
+        trials=trials, failures=failures, died_in_pair=0, missed_lonely=missed
+    )
+
+
+def minimal_k_for_coverage(
+    topology: Topology,
+    selector: PartnerSelector,
+    mode: ExchangeMode,
+    trials: int = 20,
+    k_max: int = 40,
+    seed: int = 10,
+    start_site: Optional[int] = None,
+) -> Optional[int]:
+    """The smallest ``k`` achieving full coverage in every trial.
+
+    This reproduces the paper's tuning procedure ("once k was adjusted
+    to give 100% distribution in each of 200 trials ...").  Returns
+    ``None`` if no ``k <= k_max`` suffices.
+    """
+    sites = topology.sites
+    for k in range(1, k_max + 1):
+        config = RumorConfig(mode=mode, feedback=True, counter=True, k=k)
+        all_complete = True
+        for trial in range(trials):
+            start = start_site if start_site is not None else sites[trial % len(sites)]
+            cluster, metrics = _run_rumor(
+                topology, selector, config, start_site=start,
+                seed=derive_seed(seed, k, trial),
+            )
+            if not metrics.complete:
+                all_complete = False
+                break
+        if all_complete:
+            return k
+    return None
+
+
+def backup_fixes_pathology(
+    m: int = 20,
+    k: int = 1,
+    trials: int = 20,
+    seed: int = 11,
+    anti_entropy_period: int = 4,
+    max_cycles: int = 3000,
+) -> PathologyResult:
+    """Figure 1 again, but with anti-entropy backing up the rumor:
+    coverage must now be total in every trial."""
+    topology, s, t, group = builders.figure1_topology(m)
+    distances = SiteDistances(topology)
+    selector = QPowerSelector(distances, a=2.0)
+    failures = 0
+    for trial in range(trials):
+        cluster = Cluster(topology=topology, seed=derive_seed(seed, trial))
+        protocol = AntiEntropyBackup(
+            rumor_config=RumorConfig(
+                mode=ExchangeMode.PUSH, feedback=True, counter=True, k=k
+            ),
+            anti_entropy_period=anti_entropy_period,
+            recovery=RecoveryStrategy.HOT_RUMOR,
+            selector=selector,
+        )
+        cluster.add_protocol(protocol)
+        cluster.inject_update(s, "the-key", "the-value", track=True)
+        metrics = cluster.metrics
+        cluster.run_until(lambda: metrics.infected == cluster.n, max_cycles=max_cycles)
+        if not metrics.complete:
+            failures += 1
+    return PathologyResult(
+        trials=trials, failures=failures, died_in_pair=0, missed_lonely=0
+    )

@@ -1,0 +1,63 @@
+"""Plain-text table rendering for experiment results."""
+
+from __future__ import annotations
+
+import math
+from typing import Any, List, Sequence
+
+
+def format_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "-"
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.001:
+            return f"{value:.2e}"
+        if magnitude < 0.1:
+            return f"{value:.4f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    rendered: List[List[str]] = [[format_value(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+SPARK_LEVELS = " .:-=+*#%@"
+
+
+def sparkline(values, maximum=None) -> str:
+    """Render a sequence of non-negative values as an ASCII sparkline.
+
+    Used by the examples to show epidemic curves inline; scales to the
+    sequence's own maximum unless one is given.
+    """
+    values = list(values)
+    if not values:
+        return ""
+    top = maximum if maximum is not None else max(values)
+    if top <= 0:
+        return SPARK_LEVELS[0] * len(values)
+    rendered = []
+    for value in values:
+        level = int(round((len(SPARK_LEVELS) - 1) * max(0.0, value) / top))
+        rendered.append(SPARK_LEVELS[min(level, len(SPARK_LEVELS) - 1)])
+    return "".join(rendered)

@@ -1,0 +1,166 @@
+"""Synthetic update workloads and the steady-state checksum study.
+
+The paper's tables track one update at a time; a deployed
+Clearinghouse sees a continuous stream.  Two things only show up under
+sustained load, both studied here:
+
+* the **choice of tau** for the checksum + recent-update-list
+  anti-entropy exchange (Section 1.3): tau must exceed the expected
+  update distribution time or "checksum comparisons will usually fail
+  and network traffic will rise to a level slightly higher than what
+  would be produced by anti-entropy without checksums";
+* steady-state traffic scaling with the update rate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import List, Optional, Sequence
+
+from repro.cluster.cluster import Cluster
+from repro.protocols.anti_entropy import AntiEntropyConfig, AntiEntropyProtocol
+from repro.protocols.base import ExchangeMode
+from repro.protocols.exchange import ChecksumWithRecent
+from repro.sim.rng import derive_seed
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class WorkloadConfig:
+    """A continuous client workload.
+
+    ``updates_per_cycle`` is the mean of a Poisson-like arrival process
+    (binomial over sites); keys are drawn from ``key_space`` names with
+    popularity skew ``zipf_s`` (0 = uniform); a ``delete_fraction`` of
+    operations are deletions.
+    """
+
+    updates_per_cycle: float = 2.0
+    key_space: int = 100
+    zipf_s: float = 0.0
+    delete_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.updates_per_cycle < 0:
+            raise ValueError("updates_per_cycle must be non-negative")
+        if self.key_space < 1:
+            raise ValueError("key_space must be positive")
+        if self.zipf_s < 0:
+            raise ValueError("zipf_s must be non-negative")
+        if not 0.0 <= self.delete_fraction < 1.0:
+            raise ValueError("delete_fraction must be in [0, 1)")
+
+
+class WorkloadDriver:
+    """Injects a :class:`WorkloadConfig` into a cluster, cycle by cycle."""
+
+    def __init__(self, cluster: Cluster, config: WorkloadConfig, seed: int = 0):
+        self.cluster = cluster
+        self.config = config
+        self._rng = random.Random(derive_seed(seed, "workload"))
+        self._sequence = 0
+        # Precompute the key-popularity CDF.
+        weights = [
+            (rank + 1) ** (-config.zipf_s) for rank in range(config.key_space)
+        ]
+        total = sum(weights)
+        cumulative = 0.0
+        self._cdf: List[float] = []
+        for weight in weights:
+            cumulative += weight / total
+            self._cdf.append(cumulative)
+        self.operations = 0
+        self.deletes = 0
+
+    def _pick_key(self) -> str:
+        import bisect
+
+        index = bisect.bisect_left(self._cdf, self._rng.random())
+        return f"key-{min(index, self.config.key_space - 1)}"
+
+    def inject_one_cycle(self) -> int:
+        """Inject this cycle's client operations; returns how many."""
+        count = 0
+        up = self.cluster.up_site_ids()
+        if not up:
+            return 0
+        # Binomial arrivals approximating Poisson(updates_per_cycle).
+        expected = self.config.updates_per_cycle
+        whole = int(expected)
+        count = whole + (1 if self._rng.random() < expected - whole else 0)
+        for __ in range(count):
+            site = self._rng.choice(up)
+            key = self._pick_key()
+            self.operations += 1
+            if self._rng.random() < self.config.delete_fraction:
+                self.cluster.inject_delete(site, key)
+                self.deletes += 1
+            else:
+                self._sequence += 1
+                self.cluster.inject_update(site, key, f"value-{self._sequence}")
+        return count
+
+    def run(self, cycles: int) -> None:
+        """Interleave injection with cluster cycles."""
+        for __ in range(cycles):
+            self.inject_one_cycle()
+            self.cluster.run_cycle()
+
+
+@dataclasses.dataclass(slots=True)
+class SteadyStateResult:
+    tau: float
+    update_rate: float
+    checksum_success_rate: float
+    entries_examined_per_exchange: float
+    full_compare_rate: float
+    converged_after_quiesce: bool
+
+
+def checksum_tau_experiment(
+    n: int = 30,
+    tau_values: Sequence[float] = (2.0, 5.0, 10.0, 20.0, 50.0),
+    update_rate: float = 2.0,
+    cycles: int = 60,
+    seed: int = 0,
+) -> List[SteadyStateResult]:
+    """Sweep tau for the checksum + recent-list exchange under load.
+
+    Expected shape: success rate near zero when tau is below the
+    distribution time (~log n cycles), climbing toward one as tau
+    passes it, with entries-examined falling correspondingly.
+    """
+    results: List[SteadyStateResult] = []
+    for tau in tau_values:
+        cluster = Cluster(n=n, seed=derive_seed(seed, tau))
+        protocol = AntiEntropyProtocol(
+            config=AntiEntropyConfig(mode=ExchangeMode.PUSH_PULL, synchronous=False),
+            strategy=ChecksumWithRecent(tau=tau),
+        )
+        cluster.add_protocol(protocol)
+        driver = WorkloadDriver(
+            cluster, WorkloadConfig(updates_per_cycle=update_rate), seed=seed
+        )
+        driver.run(cycles)
+        exchanges = max(protocol.stats.exchanges, 1)
+        checksum_successes = protocol.stats.checksum_successes
+        full_compares = protocol.stats.full_compares
+        # Quiesce: stop injecting, confirm convergence still happens.
+        converged = True
+        try:
+            cluster.run_until(cluster.converged, max_cycles=100)
+        except RuntimeError:
+            converged = False
+        results.append(
+            SteadyStateResult(
+                tau=tau,
+                update_rate=update_rate,
+                checksum_success_rate=checksum_successes / exchanges,
+                entries_examined_per_exchange=(
+                    protocol.stats.entries_examined / exchanges
+                ),
+                full_compare_rate=full_compares / exchanges,
+                converged_after_quiesce=converged,
+            )
+        )
+    return results

@@ -1,0 +1,36 @@
+"""A Clearinghouse-style replicated name service (Section 0.1, [Op]).
+
+The paper's algorithms were built for the Xerox Clearinghouse: a
+directory mapping three-level hierarchical names
+(``organization:domain:local-name``) to machine addresses, user
+identities, distribution lists, etc.  The top two levels partition the
+name space into *domains*; each domain is replicated on a subset of
+the Clearinghouse servers — from one server to all several hundred of
+them — and it was the highly-replicated domains whose update traffic
+melted the network in 1986.
+
+This package is that substrate, built on the cluster/protocol layers:
+
+* :mod:`repro.nameservice.names` — names, parsing, domain identity;
+* :mod:`repro.nameservice.records` — the directory's typed records
+  (addresses, aliases, groups);
+* :mod:`repro.nameservice.service` — the :class:`Clearinghouse`:
+  servers hosting many domains, each domain an independently
+  replicated database with its own distribution protocols, plus the
+  client operations (bind / lookup / unbind / list) with the relaxed
+  consistency the paper assumes.
+"""
+
+from repro.nameservice.names import DomainId, Name
+from repro.nameservice.records import AddressRecord, AliasRecord, GroupRecord
+from repro.nameservice.service import Clearinghouse, DomainConfig
+
+__all__ = [
+    "DomainId",
+    "Name",
+    "AddressRecord",
+    "AliasRecord",
+    "GroupRecord",
+    "Clearinghouse",
+    "DomainConfig",
+]

@@ -1,0 +1,102 @@
+"""Three-level hierarchical names (Clearinghouse [Op]).
+
+A full name is ``organization:domain:local``; the first two levels
+identify the *domain*, the unit of replication.  Names are
+case-preserving but compare case-insensitively, as the Clearinghouse's
+user-visible names did.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Tuple
+
+_LABEL = re.compile(r"^[A-Za-z0-9][A-Za-z0-9 ._-]*$")
+
+
+def _validate_label(label: str, what: str) -> str:
+    if not isinstance(label, str) or not label:
+        raise ValueError(f"{what} must be a non-empty string")
+    if ":" in label:
+        raise ValueError(f"{what} must not contain ':' (got {label!r})")
+    if not _LABEL.match(label):
+        raise ValueError(f"invalid {what}: {label!r}")
+    return label
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class DomainId:
+    """The top two levels: the unit of replication."""
+
+    organization: str
+    domain: str
+
+    def __post_init__(self) -> None:
+        _validate_label(self.organization, "organization")
+        _validate_label(self.domain, "domain")
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.organization.lower(), self.domain.lower())
+
+    def name(self, local: str) -> "Name":
+        return Name(self.organization, self.domain, local)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DomainId) and self.key == other.key
+
+    def __hash__(self) -> int:
+        return hash(self.key)
+
+    def __str__(self) -> str:
+        return f"{self.organization}:{self.domain}"
+
+    @classmethod
+    def parse(cls, text: str) -> "DomainId":
+        parts = text.split(":")
+        if len(parts) != 2:
+            raise ValueError(f"expected 'org:domain', got {text!r}")
+        return cls(parts[0], parts[1])
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Name:
+    """A full three-level name: ``organization:domain:local``."""
+
+    organization: str
+    domain: str
+    local: str
+
+    def __post_init__(self) -> None:
+        _validate_label(self.organization, "organization")
+        _validate_label(self.domain, "domain")
+        _validate_label(self.local, "local name")
+
+    @property
+    def domain_id(self) -> DomainId:
+        return DomainId(self.organization, self.domain)
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        return (
+            self.organization.lower(),
+            self.domain.lower(),
+            self.local.lower(),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Name) and self.key == other.key
+
+    def __hash__(self) -> int:
+        return hash(self.key)
+
+    def __str__(self) -> str:
+        return f"{self.organization}:{self.domain}:{self.local}"
+
+    @classmethod
+    def parse(cls, text: str) -> "Name":
+        parts = text.split(":")
+        if len(parts) != 3:
+            raise ValueError(f"expected 'org:domain:local', got {text!r}")
+        return cls(parts[0], parts[1], parts[2])

@@ -1,0 +1,85 @@
+"""Directory record types (Clearinghouse [Op]).
+
+The Clearinghouse mapped names to typed property sets: machine
+addresses for servers and workstations, aliases, and distribution
+lists (groups).  Three record kinds cover the behaviors the paper's
+algorithms interact with; all are immutable values so they can live in
+a :class:`~repro.core.store.ReplicaStore` entry unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import FrozenSet, Tuple
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class AddressRecord:
+    """name -> network address (the name-lookup workhorse)."""
+
+    address: str
+    port: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.address:
+            raise ValueError("address must be non-empty")
+        if not 0 <= self.port <= 65535:
+            raise ValueError(f"port out of range: {self.port}")
+
+    def __str__(self) -> str:
+        return f"{self.address}:{self.port}" if self.port else self.address
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class AliasRecord:
+    """name -> another name (resolved by the client library)."""
+
+    target: str   # a full three-level name in text form
+
+    def __post_init__(self) -> None:
+        if self.target.count(":") != 2:
+            raise ValueError(f"alias target must be a full name: {self.target!r}")
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class GroupRecord:
+    """name -> a set of member names (distribution lists).
+
+    Members are a frozen set of full-name strings.  Note the paper's
+    consistency model applies to the *record as a whole*: concurrent
+    member additions at different sites resolve by last-writer-wins on
+    the record, which is exactly the anomaly Grapevine/Clearinghouse
+    operators lived with.
+    """
+
+    members: FrozenSet[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        for member in self.members:
+            if member.count(":") != 2:
+                raise ValueError(f"group member must be a full name: {member!r}")
+
+    def with_member(self, member: str) -> "GroupRecord":
+        return GroupRecord(members=self.members | {member})
+
+    def without_member(self, member: str) -> "GroupRecord":
+        return GroupRecord(members=self.members - {member})
+
+    def __contains__(self, member: str) -> bool:
+        return member in self.members
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+Record = AddressRecord | AliasRecord | GroupRecord
+
+
+def record_kind(record: Record) -> str:
+    if isinstance(record, AddressRecord):
+        return "address"
+    if isinstance(record, AliasRecord):
+        return "alias"
+    if isinstance(record, GroupRecord):
+        return "group"
+    raise TypeError(f"not a directory record: {record!r}")

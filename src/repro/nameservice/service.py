@@ -1,0 +1,312 @@
+"""The Clearinghouse service: many domains, each independently
+replicated over a subset of the servers (Section 0.1, [Op]).
+
+A :class:`Clearinghouse` owns a network topology whose sites are the
+Clearinghouse servers.  Each *domain* (``org:domain``) is created with
+its own replica set and its own distribution-protocol stack — by
+default direct mail for timeliness plus push-pull anti-entropy as the
+safety net, exactly the configuration the paper found straining the
+CIN, so the spatial variants can be dropped in per domain.
+
+Client operations go through a server (the ``via``/``at`` argument,
+defaulting to the nearest replica): ``bind`` writes a record,
+``unbind`` installs a death certificate, ``lookup`` reads — possibly
+stale, per the paper's relaxed consistency — and ``resolve`` follows
+alias chains across domains.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.cluster.cluster import Cluster
+from repro.core.store import StoreUpdate
+from repro.nameservice.names import DomainId, Name
+from repro.nameservice.records import Record
+from repro.protocols.anti_entropy import AntiEntropyConfig, AntiEntropyProtocol
+from repro.protocols.base import ExchangeMode, Protocol
+from repro.protocols.direct_mail import DirectMailProtocol
+from repro.sim.rng import derive_seed
+from repro.topology.graph import Topology
+
+ProtocolFactory = Callable[[Sequence[int]], List[Protocol]]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class DomainConfig:
+    """How one domain is replicated and kept consistent.
+
+    Exactly one of ``replicas`` (explicit server ids) or
+    ``replication`` (a count; servers are sampled deterministically)
+    must be given.  ``protocols`` builds the distribution stack for the
+    domain's replica set; ``None`` selects the default mail +
+    anti-entropy pair.
+    """
+
+    replicas: Optional[Sequence[int]] = None
+    replication: Optional[int] = None
+    protocols: Optional[ProtocolFactory] = None
+    mail_loss_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if (self.replicas is None) == (self.replication is None):
+            raise ValueError("give exactly one of replicas or replication")
+        if self.replication is not None and self.replication < 1:
+            raise ValueError("replication must be >= 1")
+
+
+class _DomainRuntime:
+    """One domain's replica cluster plus bookkeeping."""
+
+    __slots__ = ("domain_id", "cluster", "replicas")
+
+    def __init__(self, domain_id: DomainId, cluster: Cluster, replicas: List[int]):
+        self.domain_id = domain_id
+        self.cluster = cluster
+        self.replicas = replicas
+
+
+class Clearinghouse:
+    """A network of name servers hosting replicated domains."""
+
+    MAX_ALIAS_DEPTH = 8
+
+    def __init__(self, topology: Topology, seed: int = 0):
+        topology.validate()
+        if topology.site_count < 1:
+            raise ValueError("need at least one server")
+        self.topology = topology
+        self.seed = seed
+        self._domains: Dict[DomainId, _DomainRuntime] = {}
+        self.cycle = 0
+
+    # ------------------------------------------------------------------
+    # Domain administration
+    # ------------------------------------------------------------------
+
+    @property
+    def servers(self) -> List[int]:
+        return self.topology.sites
+
+    def domains(self) -> List[DomainId]:
+        return list(self._domains.keys())
+
+    def create_domain(
+        self, domain_id: DomainId | str, config: DomainConfig
+    ) -> List[int]:
+        """Create a domain; returns the chosen replica set."""
+        if isinstance(domain_id, str):
+            domain_id = DomainId.parse(domain_id)
+        if domain_id in self._domains:
+            raise ValueError(f"domain {domain_id} already exists")
+        if config.replicas is not None:
+            replicas = list(config.replicas)
+            unknown = set(replicas) - set(self.servers)
+            if unknown:
+                raise ValueError(f"not servers: {sorted(unknown)}")
+            if not replicas:
+                raise ValueError("replica set must not be empty")
+        else:
+            count = min(config.replication, len(self.servers))
+            rng = random.Random(derive_seed(self.seed, "replicas", domain_id.key))
+            replicas = sorted(rng.sample(self.servers, count))
+        cluster = Cluster(
+            topology=self.topology,
+            participants=replicas,
+            seed=derive_seed(self.seed, "domain", domain_id.key),
+        )
+        # Keep domain clocks aligned with service-level cycles already run.
+        for __ in range(self.cycle):
+            cluster.run_cycle()
+        if config.protocols is not None:
+            stack = config.protocols(replicas)
+        else:
+            stack = self._default_stack(replicas, config.mail_loss_probability)
+        for protocol in stack:
+            cluster.add_protocol(protocol)
+        runtime = _DomainRuntime(domain_id, cluster, replicas)
+        self._domains[domain_id] = runtime
+        return replicas
+
+    def _default_stack(
+        self, replicas: Sequence[int], mail_loss: float
+    ) -> List[Protocol]:
+        stack: List[Protocol] = []
+        if len(replicas) > 1:
+            stack.append(DirectMailProtocol(loss_probability=mail_loss))
+            stack.append(
+                AntiEntropyProtocol(
+                    config=AntiEntropyConfig(mode=ExchangeMode.PUSH_PULL)
+                )
+            )
+        return stack
+
+    def replicas_of(self, domain_id: DomainId) -> List[int]:
+        return list(self._runtime(domain_id).replicas)
+
+    def expand_domain(self, domain_id: DomainId | str, server: int) -> None:
+        """Add a server to a domain's replica set.
+
+        The new replica starts empty and catches up through the
+        domain's distribution protocols — the paper's model for a
+        slowly growing replica set.
+        """
+        if isinstance(domain_id, str):
+            domain_id = DomainId.parse(domain_id)
+        runtime = self._runtime(domain_id)
+        if server in runtime.replicas:
+            raise ValueError(f"server {server} already replicates {domain_id}")
+        if server not in self.servers:
+            raise ValueError(f"not a server: {server}")
+        runtime.cluster.add_site(server)
+        runtime.replicas.append(server)
+
+    def contract_domain(self, domain_id: DomainId | str, server: int) -> None:
+        """Drop a server from a domain's replica set (its copy is
+        discarded; the remaining replicas are unaffected)."""
+        if isinstance(domain_id, str):
+            domain_id = DomainId.parse(domain_id)
+        runtime = self._runtime(domain_id)
+        if server not in runtime.replicas:
+            raise ValueError(f"server {server} does not replicate {domain_id}")
+        runtime.cluster.remove_site(server)
+        runtime.replicas.remove(server)
+
+    def _runtime(self, domain_id: DomainId) -> _DomainRuntime:
+        runtime = self._domains.get(domain_id)
+        if runtime is None:
+            raise KeyError(f"no such domain: {domain_id}")
+        return runtime
+
+    # ------------------------------------------------------------------
+    # Server selection
+    # ------------------------------------------------------------------
+
+    def nearest_replica(self, domain_id: DomainId, near: Optional[int] = None) -> int:
+        """The replica closest to ``near`` (ties toward smaller id);
+        the first replica when no position or no links are given."""
+        replicas = self._runtime(domain_id).replicas
+        if near is None or self.topology.edge_count == 0:
+            return replicas[0]
+        if near in replicas:
+            return near
+        return min(replicas, key=lambda s: (self.topology.distance(near, s), s))
+
+    def _entry_server(
+        self, domain_id: DomainId, via: Optional[int]
+    ) -> int:
+        replicas = self._runtime(domain_id).replicas
+        if via is None:
+            return replicas[0]
+        if via in replicas:
+            return via
+        # The client's home server does not hold this domain: the
+        # operation is forwarded to the nearest replica.
+        return self.nearest_replica(domain_id, near=via)
+
+    # ------------------------------------------------------------------
+    # Client operations
+    # ------------------------------------------------------------------
+
+    def bind(
+        self, name: Name | str, record: Record, via: Optional[int] = None
+    ) -> StoreUpdate:
+        """Write (or overwrite) ``name -> record`` at a server."""
+        name = self._as_name(name)
+        runtime = self._runtime(name.domain_id)
+        server = self._entry_server(name.domain_id, via)
+        return runtime.cluster.inject_update(server, name.key[2], record)
+
+    def unbind(
+        self,
+        name: Name | str,
+        via: Optional[int] = None,
+        retention_count: int = 0,
+    ) -> StoreUpdate:
+        """Delete a binding: installs a death certificate that spreads
+        like any update (Section 2)."""
+        name = self._as_name(name)
+        runtime = self._runtime(name.domain_id)
+        server = self._entry_server(name.domain_id, via)
+        return runtime.cluster.inject_delete(
+            server, name.key[2], retention_count=retention_count
+        )
+
+    def lookup(self, name: Name | str, at: Optional[int] = None) -> Optional[Record]:
+        """Read a binding at one server — possibly stale, never blocking."""
+        name = self._as_name(name)
+        runtime = self._runtime(name.domain_id)
+        server = self._entry_server(name.domain_id, at)
+        return runtime.cluster.sites[server].store.get(name.key[2])
+
+    def resolve(self, name: Name | str, at: Optional[int] = None) -> Optional[Record]:
+        """Lookup following alias chains (bounded depth, cross-domain)."""
+        from repro.nameservice.records import AliasRecord
+
+        name = self._as_name(name)
+        for __ in range(self.MAX_ALIAS_DEPTH):
+            record = self.lookup(name, at=at)
+            if not isinstance(record, AliasRecord):
+                return record
+            name = Name.parse(record.target)
+        raise ValueError(f"alias chain too deep resolving {name}")
+
+    def list_domain(self, domain_id: DomainId | str, at: Optional[int] = None):
+        """All visible bindings of a domain at one server."""
+        if isinstance(domain_id, str):
+            domain_id = DomainId.parse(domain_id)
+        runtime = self._runtime(domain_id)
+        server = self._entry_server(domain_id, at)
+        store = runtime.cluster.sites[server].store
+        return {local: record for local, record in store.visible_items()}
+
+    def _as_name(self, name: Name | str) -> Name:
+        return Name.parse(name) if isinstance(name, str) else name
+
+    # ------------------------------------------------------------------
+    # Time and consistency
+    # ------------------------------------------------------------------
+
+    def run_cycle(self) -> None:
+        """Advance every domain by one protocol cycle."""
+        self.cycle += 1
+        for runtime in self._domains.values():
+            runtime.cluster.run_cycle()
+
+    def run_cycles(self, count: int) -> None:
+        for __ in range(count):
+            self.run_cycle()
+
+    def run_until_consistent(self, max_cycles: int = 1000) -> int:
+        """Run until every domain's replicas agree; returns cycles run."""
+        start = self.cycle
+        while not self.consistent():
+            if self.cycle - start >= max_cycles:
+                raise RuntimeError(
+                    f"domains did not converge within {max_cycles} cycles"
+                )
+            self.run_cycle()
+        return self.cycle - start
+
+    def consistent(self, domain_id: Optional[DomainId] = None) -> bool:
+        if domain_id is not None:
+            return self._runtime(domain_id).cluster.converged()
+        return all(r.cluster.converged() for r in self._domains.values())
+
+    def domain_cluster(self, domain_id: DomainId | str) -> Cluster:
+        """The underlying cluster — for attaching extra protocols,
+        failure injection, or traffic inspection in experiments."""
+        if isinstance(domain_id, str):
+            domain_id = DomainId.parse(domain_id)
+        return self._runtime(domain_id).cluster
+
+    def total_traffic(self) -> Dict[str, float]:
+        """Aggregate compare/update link traffic across all domains."""
+        compare = 0.0
+        update = 0.0
+        for runtime in self._domains.values():
+            compare += runtime.cluster.traffic.compare.total
+            update += runtime.cluster.traffic.update.total
+        return {"compare": compare, "update": update}

@@ -1,0 +1,55 @@
+"""Update-distribution protocols (Sections 1.2-1.5, 2).
+
+Every protocol implements the small interface in
+:mod:`repro.protocols.base` and is driven by a
+:class:`~repro.cluster.cluster.Cluster` in synchronous cycles:
+
+* :class:`~repro.protocols.direct_mail.DirectMailProtocol` — Section 1.2;
+* :class:`~repro.protocols.anti_entropy.AntiEntropyProtocol` — Section
+  1.3, with push / pull / push-pull resolution and the checksum,
+  recent-update-list and peel-back exchange strategies;
+* :class:`~repro.protocols.rumor.RumorMongeringProtocol` — Section 1.4's
+  complex-epidemic design space (blind/feedback, counter/coin,
+  push/pull/push-pull, connection limits, hunting, minimization);
+* :class:`~repro.protocols.backup.AntiEntropyBackup` — Section 1.5,
+  anti-entropy backing up a complex epidemic with conservative,
+  direct-mail or hot-rumor redistribution;
+* :class:`~repro.protocols.deathcerts.DeathCertificateManager` —
+  Section 2's certificate lifecycle (fixed threshold and dormant
+  certificates with activation timestamps).
+"""
+
+from repro.protocols.base import Protocol, ExchangeMode
+from repro.protocols.direct_mail import DirectMailProtocol
+from repro.protocols.anti_entropy import (
+    AntiEntropyProtocol,
+    AntiEntropyConfig,
+    ExchangeStats,
+    resolve_difference,
+)
+from repro.protocols.rumor import (
+    RumorMongeringProtocol,
+    RumorConfig,
+)
+from repro.protocols.backup import AntiEntropyBackup, RecoveryStrategy
+from repro.protocols.deathcerts import DeathCertificateManager, CertificatePolicy
+from repro.protocols.hotlist import HotListProtocol
+from repro.protocols.ackgc import AckBasedCertificateGC
+
+__all__ = [
+    "Protocol",
+    "ExchangeMode",
+    "DirectMailProtocol",
+    "AntiEntropyProtocol",
+    "AntiEntropyConfig",
+    "ExchangeStats",
+    "resolve_difference",
+    "RumorMongeringProtocol",
+    "RumorConfig",
+    "AntiEntropyBackup",
+    "RecoveryStrategy",
+    "DeathCertificateManager",
+    "CertificatePolicy",
+    "HotListProtocol",
+    "AckBasedCertificateGC",
+]

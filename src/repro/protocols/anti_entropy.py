@@ -1,0 +1,237 @@
+"""Anti-entropy (Section 1.3).
+
+Periodically, every site chooses a partner — uniformly or with a
+spatial distribution (Section 3) — and the pair resolve the differences
+between their database copies in one of three ways:
+
+* **push**: entries newer at the caller overwrite the partner;
+* **pull**: entries newer at the partner overwrite the caller;
+* **push-pull**: both.
+
+Anti-entropy is a *simple epidemic*: with any distribution giving every
+pair a nonzero contact probability it infects the whole population with
+probability 1, in expected time O(log n).  The push/pull distinction
+matters in the endgame: with few susceptibles left, pull converges
+quadratically (``p_{i+1} = p_i^2``) while push only shaves a factor
+``e`` per cycle — the reason the paper recommends pull or push-pull for
+backing up another distribution mechanism.
+
+Two driving modes are provided:
+
+* ``synchronous=True`` (default, used for the paper's tables): all
+  decisions in a cycle are based on database state at the start of the
+  cycle, matching the epidemic recurrences and giving every site one
+  exchange per cycle;
+* ``synchronous=False``: exchanges operate on live stores through a
+  configurable :class:`ExchangeStrategy` (full compare, checksums with
+  recent-update lists, or peel back), which is how a deployment would
+  actually run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Hashable, List, Optional
+
+from repro.core.items import Entry
+from repro.core.store import ApplyResult, StoreUpdate
+from repro.protocols.base import ExchangeMode, Protocol, entry_beats
+from repro.protocols.exchange import ExchangeStrategy, FullCompare, resolve_difference
+from repro.sim.transport import ConnectionLedger, ConnectionPolicy, UNLIMITED
+from repro.topology.spatial import PartnerSelector, UniformSelector
+
+TransferHook = Callable[[int, int, StoreUpdate, ApplyResult], None]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class AntiEntropyConfig:
+    """Parameters of the anti-entropy mechanism.
+
+    ``period``/``offset`` let anti-entropy run every few cycles (as a
+    backup mechanism) rather than every cycle; the Clearinghouse ran it
+    nightly while rumor cycles were much more frequent.
+    """
+
+    mode: ExchangeMode = ExchangeMode.PUSH_PULL
+    policy: ConnectionPolicy = UNLIMITED
+    synchronous: bool = True
+    period: int = 1
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.period < 1:
+            raise ValueError("period must be >= 1")
+        if not 0 <= self.offset < self.period:
+            raise ValueError("offset must lie in [0, period)")
+
+
+@dataclasses.dataclass(slots=True)
+class ExchangeStats:
+    """Cumulative counters across all exchanges run so far."""
+
+    exchanges: int = 0
+    updates_shipped: int = 0
+    entries_examined: int = 0
+    full_compares: int = 0
+    checksum_successes: int = 0
+    rejected: int = 0
+
+
+class AntiEntropyProtocol(Protocol):
+    name = "anti-entropy"
+
+    def __init__(
+        self,
+        selector: Optional[PartnerSelector] = None,
+        config: AntiEntropyConfig = AntiEntropyConfig(),
+        strategy: Optional[ExchangeStrategy] = None,
+    ):
+        super().__init__()
+        self.config = config
+        self._selector = selector
+        self.strategy = strategy if strategy is not None else FullCompare()
+        self.ledger = ConnectionLedger(config.policy)
+        self.stats = ExchangeStats()
+        self._transfer_hooks: List[TransferHook] = []
+        self._auto_selector = False
+
+    def attach(self, cluster) -> None:
+        super().attach(cluster)
+        if self._selector is None:
+            self._selector = UniformSelector(cluster.site_ids)
+            self._auto_selector = True
+
+    def _refresh_auto_selector(self) -> None:
+        if self._auto_selector and len(self.cluster.site_ids) >= 2:
+            self._selector = UniformSelector(self.cluster.site_ids)
+
+    def on_site_added(self, site_id: int) -> None:
+        self._refresh_auto_selector()
+
+    def on_site_removed(self, site_id: int) -> None:
+        self._refresh_auto_selector()
+
+    @property
+    def selector(self) -> PartnerSelector:
+        if self._selector is None:
+            raise RuntimeError("protocol not attached yet")
+        return self._selector
+
+    def on_transfer(self, hook: TransferHook) -> None:
+        """Register a callback fired for every update anti-entropy ships.
+
+        Arguments: (source_site, target_site, update, apply_result).
+        Used by the Section 1.5 backup mechanism to trigger
+        redistribution when a missing update is discovered.
+        """
+        self._transfer_hooks.append(hook)
+
+    # ------------------------------------------------------------------
+
+    def run_cycle(self, cycle: int) -> None:
+        config = self.config
+        if (cycle - config.offset) % config.period != 0:
+            return
+        cluster = self.cluster
+        self.ledger.reset()
+        snapshots: Optional[Dict[int, Dict[Hashable, Entry]]] = None
+        if config.synchronous:
+            snapshots = {
+                site_id: cluster.sites[site_id].store.snapshot()
+                for site_id in cluster.site_ids
+            }
+        for site_id in cluster.site_ids:
+            site = cluster.sites[site_id]
+            if not site.up:
+                continue
+            partner_id = self.ledger.connect_with_hunting(
+                lambda s: self._choose_up_partner(s), site_id
+            )
+            if partner_id is None:
+                self.stats.rejected += 1
+                cluster.count_rejection()
+                continue
+            cluster.count_comparison(site_id, partner_id)
+            self.stats.exchanges += 1
+            if config.synchronous:
+                self._exchange_synchronous(site_id, partner_id, snapshots)
+            else:
+                self._exchange_live(site_id, partner_id)
+
+    def _choose_up_partner(self, site_id: int):
+        """One partner draw; down partners count as failed attempts."""
+        partner = self.selector.choose(site_id, self.cluster.sites[site_id].rng)
+        if partner is None or not self.cluster.can_communicate(site_id, partner):
+            return None
+        return partner
+
+    # ------------------------------------------------------------------
+
+    def _exchange_synchronous(
+        self,
+        site_id: int,
+        partner_id: int,
+        snapshots: Dict[int, Dict[Hashable, Entry]],
+    ) -> None:
+        """Resolve differences decided on start-of-cycle snapshots.
+
+        Transmissions are decided by what each party *believed* at the
+        start of the cycle (that is what would cross the wire in a real
+        synchronous round), while stores merge live, so a site that
+        receives the same update twice in one cycle counts two
+        transmissions but applies it once.
+        """
+        cluster = self.cluster
+        mode = self.config.mode
+        snap_s = snapshots[site_id]
+        snap_p = snapshots[partner_id]
+        keys = snap_s.keys() | snap_p.keys()
+        sent_sp = 0
+        sent_ps = 0
+        for key in keys:
+            entry_s = snap_s.get(key)
+            entry_p = snap_p.get(key)
+            if mode.pushes and entry_beats(entry_s, entry_p):
+                update = StoreUpdate(key=key, entry=entry_s)
+                result = cluster.apply_at(partner_id, update, via=self)
+                sent_sp += 1
+                if result.was_news:
+                    cluster.count_useful_update_send(site_id, partner_id, 1)
+                self._fire_transfer(site_id, partner_id, update, result)
+            elif mode.pulls and entry_beats(entry_p, entry_s):
+                update = StoreUpdate(key=key, entry=entry_p)
+                result = cluster.apply_at(site_id, update, via=self)
+                sent_ps += 1
+                if result.was_news:
+                    cluster.count_useful_update_send(partner_id, site_id, 1)
+                self._fire_transfer(partner_id, site_id, update, result)
+        self.stats.entries_examined += len(keys)
+        self.stats.updates_shipped += sent_sp + sent_ps
+        cluster.count_update_sends(site_id, partner_id, sent_sp)
+        cluster.count_update_sends(partner_id, site_id, sent_ps)
+
+    def _exchange_live(self, site_id: int, partner_id: int) -> None:
+        cluster = self.cluster
+        store_s = cluster.sites[site_id].store
+        store_p = cluster.sites[partner_id].store
+        report = self.strategy.exchange(store_s, store_p, self.config.mode)
+        self.stats.entries_examined += report.entries_examined
+        self.stats.updates_shipped += report.updates_shipped
+        if report.full_compare:
+            self.stats.full_compares += 1
+        elif report.checksum_rounds:
+            self.stats.checksum_successes += 1
+        for update in report.sent_ab:
+            cluster.notify_news(partner_id, update, ApplyResult.APPLIED, via=self)
+            self._fire_transfer(site_id, partner_id, update, ApplyResult.APPLIED)
+        for update in report.sent_ba:
+            cluster.notify_news(site_id, update, ApplyResult.APPLIED, via=self)
+            self._fire_transfer(partner_id, site_id, update, ApplyResult.APPLIED)
+        cluster.count_update_sends(site_id, partner_id, len(report.sent_ab))
+        cluster.count_update_sends(partner_id, site_id, len(report.sent_ba))
+
+    def _fire_transfer(
+        self, source: int, target: int, update: StoreUpdate, result: ApplyResult
+    ) -> None:
+        for hook in self._transfer_hooks:
+            hook(source, target, update, result)

@@ -1,0 +1,130 @@
+"""Anti-entropy backing up a complex epidemic (Section 1.5).
+
+Rumor mongering can fail: with nonzero probability the rumor dies while
+some sites are still susceptible.  Running anti-entropy infrequently on
+top guarantees every update eventually reaches every site.  When an
+anti-entropy exchange discovers a missing update, three responses are
+modeled:
+
+* ``CONSERVATIVE`` — just make the two participants consistent and let
+  anti-entropy finish the job over subsequent rounds;
+* ``REDISTRIBUTE_MAIL`` — remail the update to all sites (the original
+  Clearinghouse behavior; O(n^2) messages in the worst case, which is
+  why it had to be disabled on the CIN);
+* ``HOT_RUMOR`` — make the update a hot rumor again at both
+  participants, letting the epidemic finish cheaply (a rumor already
+  known nearly everywhere dies out quickly).
+
+This module composes existing protocols rather than reimplementing
+them; it is the programmatic form of the paper's deployment advice.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.core.store import ApplyResult, StoreUpdate
+from repro.protocols.anti_entropy import AntiEntropyConfig, AntiEntropyProtocol
+from repro.protocols.base import ExchangeMode, Protocol
+from repro.protocols.direct_mail import DirectMailProtocol
+from repro.protocols.rumor import RumorConfig, RumorMongeringProtocol
+from repro.topology.spatial import PartnerSelector
+
+
+class RecoveryStrategy(enum.Enum):
+    CONSERVATIVE = "conservative"
+    REDISTRIBUTE_MAIL = "redistribute-mail"
+    HOT_RUMOR = "hot-rumor"
+
+
+class AntiEntropyBackup(Protocol):
+    """Rumor mongering for distribution + periodic anti-entropy backup."""
+
+    name = "rumor+anti-entropy"
+
+    def __init__(
+        self,
+        rumor_config: RumorConfig = RumorConfig(),
+        anti_entropy_period: int = 4,
+        recovery: RecoveryStrategy = RecoveryStrategy.HOT_RUMOR,
+        selector: Optional[PartnerSelector] = None,
+        anti_entropy_mode: ExchangeMode = ExchangeMode.PUSH_PULL,
+        mail: Optional[DirectMailProtocol] = None,
+    ):
+        super().__init__()
+        self.rumor = RumorMongeringProtocol(rumor_config, selector=selector)
+        self.anti_entropy = AntiEntropyProtocol(
+            selector=selector,
+            config=AntiEntropyConfig(
+                mode=anti_entropy_mode,
+                period=anti_entropy_period,
+                offset=anti_entropy_period - 1,
+            ),
+        )
+        self.recovery = recovery
+        self._mail = mail
+        self.redistributions = 0
+
+    def attach(self, cluster) -> None:
+        super().attach(cluster)
+        self.rumor.attach(cluster)
+        self.anti_entropy.attach(cluster)
+        if self.recovery is RecoveryStrategy.REDISTRIBUTE_MAIL and self._mail is None:
+            self._mail = DirectMailProtocol()
+        if self._mail is not None:
+            self._mail.attach(cluster)
+        self.anti_entropy.on_transfer(self._on_anti_entropy_transfer)
+
+    def on_local_update(self, site_id: int, update: StoreUpdate) -> None:
+        self.rumor.on_local_update(site_id, update)
+
+    def on_news(self, site_id: int, update: StoreUpdate, result: ApplyResult) -> None:
+        self.rumor.on_news(site_id, update, result)
+
+    def on_site_added(self, site_id: int) -> None:
+        self.rumor.on_site_added(site_id)
+        self.anti_entropy.on_site_added(site_id)
+        if self._mail is not None:
+            self._mail.on_site_added(site_id)
+
+    def on_site_removed(self, site_id: int) -> None:
+        self.rumor.on_site_removed(site_id)
+        self.anti_entropy.on_site_removed(site_id)
+        if self._mail is not None:
+            self._mail.on_site_removed(site_id)
+
+    def run_cycle(self, cycle: int) -> None:
+        self.rumor.run_cycle(cycle)
+        self.anti_entropy.run_cycle(cycle)
+
+    def _on_anti_entropy_transfer(
+        self, source: int, target: int, update: StoreUpdate, result: ApplyResult
+    ) -> None:
+        """Anti-entropy discovered a site missing an update."""
+        if not result.was_news:
+            return
+        self.redistributions += 1
+        if self.recovery is RecoveryStrategy.CONSERVATIVE:
+            return
+        if self.recovery is RecoveryStrategy.HOT_RUMOR:
+            # Make it hot again at both parties: the discovering site
+            # evidently lives in a poorly-covered neighborhood.
+            self.rumor.make_hot(target, update)
+            self.rumor.make_hot(source, update)
+            return
+        if self.recovery is RecoveryStrategy.REDISTRIBUTE_MAIL:
+            self._mail.on_local_update(source, update)
+
+    @property
+    def active(self) -> bool:
+        """Pending work: hot rumors, in-flight mail, or global disagreement.
+
+        Anti-entropy alone never quiesces (it runs forever), so we treat
+        the composite as active until the replicas have converged.
+        """
+        if self.rumor.active:
+            return True
+        if self._mail is not None and self._mail.active:
+            return True
+        return not self.cluster.converged()

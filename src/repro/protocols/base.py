@@ -1,0 +1,93 @@
+"""The protocol interface and shared helpers."""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.items import DeathCertificate, Entry
+from repro.core.store import ApplyResult, StoreUpdate
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.cluster import Cluster
+
+
+class ExchangeMode(enum.Enum):
+    """Who ships data in a conversation (Section 1.3's three
+    ResolveDifference designs; reused for rumor mongering)."""
+
+    PUSH = "push"
+    PULL = "pull"
+    PUSH_PULL = "push-pull"
+
+    @property
+    def pushes(self) -> bool:
+        return self in (ExchangeMode.PUSH, ExchangeMode.PUSH_PULL)
+
+    @property
+    def pulls(self) -> bool:
+        return self in (ExchangeMode.PULL, ExchangeMode.PUSH_PULL)
+
+
+class Protocol:
+    """Base class: a distribution mechanism attached to a cluster.
+
+    Lifecycle: :meth:`attach` is called once; :meth:`run_cycle` every
+    cycle; :meth:`on_local_update` when a client writes at some site;
+    :meth:`on_news` when *another* protocol delivered news to a site
+    (so mechanisms can be composed, e.g. mail + anti-entropy backup).
+    """
+
+    name = "protocol"
+
+    def __init__(self) -> None:
+        self.cluster: Optional["Cluster"] = None
+
+    def attach(self, cluster: "Cluster") -> None:
+        if self.cluster is not None:
+            raise RuntimeError(f"{self.name} is already attached to a cluster")
+        self.cluster = cluster
+
+    def on_local_update(self, site_id: int, update: StoreUpdate) -> None:
+        """A client injected ``update`` at ``site_id``."""
+
+    def on_news(self, site_id: int, update: StoreUpdate, result: ApplyResult) -> None:
+        """Another protocol delivered ``update`` to ``site_id``."""
+
+    def on_site_added(self, site_id: int) -> None:
+        """A new site joined the replica set (dynamic membership)."""
+
+    def on_site_removed(self, site_id: int) -> None:
+        """A site left the replica set permanently."""
+
+    def run_cycle(self, cycle: int) -> None:
+        """Execute this protocol's per-cycle step."""
+
+    @property
+    def active(self) -> bool:
+        """True while the protocol still has pending distribution work.
+
+        Used by :meth:`Cluster.run_until_quiescent`.  Steady-state
+        mechanisms that never finish (plain anti-entropy) return False
+        so they do not block quiescence detection.
+        """
+        return False
+
+
+def entry_beats(challenger: Entry | None, incumbent: Entry | None) -> bool:
+    """Would shipping ``challenger`` teach a site holding ``incumbent``
+    anything?
+
+    Ordinary last-writer-wins on the timestamp, plus the Section 2.2
+    subtlety: two copies of the same death certificate compare on the
+    *activation* timestamp so that reactivations keep propagating.
+    """
+    if challenger is None:
+        return False
+    if incumbent is None:
+        return True
+    if challenger.timestamp != incumbent.timestamp:
+        return challenger.timestamp > incumbent.timestamp
+    if isinstance(challenger, DeathCertificate) and isinstance(incumbent, DeathCertificate):
+        return challenger.activation_timestamp > incumbent.activation_timestamp
+    return False

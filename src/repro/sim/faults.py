@@ -1,0 +1,167 @@
+"""Declarative failure schedules for simulations.
+
+The paper's operating reality: "there is a fairly high probability
+that at any time some site will be down (or unreachable) for hours or
+even days."  A :class:`FaultSchedule` scripts that reality — site
+crashes and recoveries, network partitions and heals — against the
+cluster's cycle clock, and :class:`RandomChurn` generates sustained
+random crash/recovery load.
+
+Both are protocols, attached like any other (add them *first* so
+faults take effect before the cycle's distribution work):
+
+    cluster.add_protocol(
+        FaultSchedule()
+        .crash(at_cycle=5, sites=[3, 4])
+        .recover(at_cycle=20, sites=[3, 4])
+        .partition(at_cycle=30, groups=[[0, 1, 2], [3, 4, 5]])
+        .heal(at_cycle=40)
+    )
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Sequence
+
+from repro.protocols.base import Protocol
+
+
+@dataclasses.dataclass(slots=True)
+class FaultStats:
+    crashes: int = 0
+    recoveries: int = 0
+    partitions: int = 0
+    heals: int = 0
+
+
+class FaultSchedule(Protocol):
+    """Scripted crashes, recoveries, partitions and heals."""
+
+    name = "fault-schedule"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._actions: Dict[int, List[Callable[[], None]]] = {}
+        self.stats = FaultStats()
+
+    def _at(self, cycle: int, action: Callable[[], None]) -> "FaultSchedule":
+        if cycle < 1:
+            raise ValueError("fault cycles start at 1")
+        self._actions.setdefault(cycle, []).append(action)
+        return self
+
+    # ------------------------------------------------------------------
+    # Schedule builders (chainable)
+    # ------------------------------------------------------------------
+
+    def crash(self, at_cycle: int, sites: Sequence[int]) -> "FaultSchedule":
+        """Take sites down.  Stores survive (stable storage); the sites
+        simply stop conversing until recovered."""
+        sites = list(sites)
+
+        def action() -> None:
+            for site_id in sites:
+                self.cluster.sites[site_id].up = False
+                self.stats.crashes += 1
+
+        return self._at(at_cycle, action)
+
+    def recover(self, at_cycle: int, sites: Sequence[int]) -> "FaultSchedule":
+        sites = list(sites)
+
+        def action() -> None:
+            for site_id in sites:
+                self.cluster.sites[site_id].up = True
+                self.stats.recoveries += 1
+
+        return self._at(at_cycle, action)
+
+    def partition(
+        self, at_cycle: int, groups: Sequence[Sequence[int]]
+    ) -> "FaultSchedule":
+        groups = [list(group) for group in groups]
+
+        def action() -> None:
+            self.cluster.set_partition(groups)
+            self.stats.partitions += 1
+
+        return self._at(at_cycle, action)
+
+    def heal(self, at_cycle: int) -> "FaultSchedule":
+        def action() -> None:
+            self.cluster.clear_partition()
+            self.stats.heals += 1
+
+        return self._at(at_cycle, action)
+
+    # ------------------------------------------------------------------
+
+    def run_cycle(self, cycle: int) -> None:
+        for action in self._actions.pop(cycle, []):
+            action()
+
+    @property
+    def active(self) -> bool:
+        """Pending fault events keep the schedule active, so quiescence
+        detection does not declare victory before the last heal."""
+        return bool(self._actions)
+
+
+class RandomChurn(Protocol):
+    """Sustained random crash/recovery load.
+
+    Each cycle, every up site crashes with probability ``crash_rate``
+    and every down site recovers with probability ``recovery_rate``.
+    ``min_up_fraction`` caps how much of the cluster may be down at
+    once, so the simulation cannot drift into a fully-dead network.
+    """
+
+    name = "random-churn"
+
+    def __init__(
+        self,
+        crash_rate: float = 0.02,
+        recovery_rate: float = 0.25,
+        min_up_fraction: float = 0.5,
+    ):
+        super().__init__()
+        for name, value in (
+            ("crash_rate", crash_rate),
+            ("recovery_rate", recovery_rate),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        if not 0.0 < min_up_fraction <= 1.0:
+            raise ValueError("min_up_fraction must be in (0, 1]")
+        self.crash_rate = crash_rate
+        self.recovery_rate = recovery_rate
+        self.min_up_fraction = min_up_fraction
+        self.stats = FaultStats()
+        self._rng = None
+
+    def attach(self, cluster) -> None:
+        super().attach(cluster)
+        self._rng = cluster.rng.stream("churn")
+
+    def run_cycle(self, cycle: int) -> None:
+        cluster = self.cluster
+        up = cluster.up_site_ids()
+        floor = max(1, int(cluster.n * self.min_up_fraction))
+        for site_id in cluster.site_ids:
+            site = cluster.sites[site_id]
+            if site.up:
+                if len(up) > floor and self._rng.random() < self.crash_rate:
+                    site.up = False
+                    up.remove(site_id)
+                    self.stats.crashes += 1
+            else:
+                if self._rng.random() < self.recovery_rate:
+                    site.up = True
+                    up.append(site_id)
+                    self.stats.recoveries += 1
+
+    def restore_all(self) -> None:
+        """Bring every site back up (end-of-experiment cleanup)."""
+        for site in self.cluster.sites.values():
+            site.up = True

@@ -1,0 +1,208 @@
+"""Metric collection: residue, traffic, delay (Section 1.4).
+
+The paper judges epidemics by three criteria:
+
+* **Residue** — the fraction of sites still susceptible when the epidemic
+  finishes (``s`` when ``i = 0``).
+* **Traffic** — measured both in database updates sent between sites
+  (``m`` = total update traffic / number of sites) and, for the spatial
+  experiments of Section 3, in per-link conversation counts obtained by
+  routing each conversation over the network's shortest path.
+* **Delay** — ``t_ave``, the average time from injection to arrival over
+  the sites that received the update, and ``t_last``, the delay until the
+  last site that will ever receive the update got it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+Edge = Tuple[int, int]
+
+
+def canonical_edge(u: int, v: int) -> Edge:
+    """Undirected edges are stored with endpoints sorted."""
+    return (u, v) if u <= v else (v, u)
+
+
+class TrafficCounter:
+    """Per-link traffic counts for one class of traffic.
+
+    ``add_path`` charges one unit (or ``amount``) to every link on a
+    route; summaries are taken over a fixed universe of links so that
+    idle links count toward the average.
+    """
+
+    __slots__ = ("_counts", "total")
+
+    def __init__(self) -> None:
+        self._counts: Dict[Edge, float] = {}
+        self.total = 0.0
+
+    def add_edge(self, u: int, v: int, amount: float = 1.0) -> None:
+        edge = canonical_edge(u, v)
+        self._counts[edge] = self._counts.get(edge, 0.0) + amount
+        self.total += amount
+
+    def add_path(self, path: Sequence[int], amount: float = 1.0) -> None:
+        """Charge ``amount`` to each link along a node path."""
+        for u, v in zip(path, path[1:]):
+            self.add_edge(u, v, amount)
+
+    def on_link(self, u: int, v: int) -> float:
+        return self._counts.get(canonical_edge(u, v), 0.0)
+
+    def per_link_average(self, link_count: int) -> float:
+        """Average traffic per link over a universe of ``link_count`` links."""
+        if link_count <= 0:
+            return 0.0
+        return self.total / link_count
+
+    def max_link(self) -> Tuple[Optional[Edge], float]:
+        if not self._counts:
+            return None, 0.0
+        edge = max(self._counts, key=self._counts.get)
+        return edge, self._counts[edge]
+
+    def merge(self, other: "TrafficCounter") -> None:
+        for edge, amount in other._counts.items():
+            self._counts[edge] = self._counts.get(edge, 0.0) + amount
+        self.total += other.total
+
+    def scaled(self, factor: float) -> "TrafficCounter":
+        result = TrafficCounter()
+        for edge, amount in self._counts.items():
+            result._counts[edge] = amount * factor
+        result.total = self.total * factor
+        return result
+
+    def items(self) -> Iterable[Tuple[Edge, float]]:
+        return self._counts.items()
+
+
+@dataclasses.dataclass(slots=True)
+class LinkTraffic:
+    """Compare- and update-traffic counters for one simulation run.
+
+    *Compare* traffic counts conversations (anti-entropy comparisons or
+    rumor exchanges); *update* traffic counts every entry shipped; and
+    *useful update* traffic counts only shipments the receiver needed —
+    the paper's Table 4 notion of "exchanges in which the update had to
+    be sent" (the distinction matters for rumor mongering, which also
+    ships redundantly).
+    """
+
+    compare: TrafficCounter = dataclasses.field(default_factory=TrafficCounter)
+    update: TrafficCounter = dataclasses.field(default_factory=TrafficCounter)
+    useful_update: TrafficCounter = dataclasses.field(default_factory=TrafficCounter)
+
+    def merge(self, other: "LinkTraffic") -> None:
+        self.compare.merge(other.compare)
+        self.update.merge(other.update)
+        self.useful_update.merge(other.useful_update)
+
+
+class EpidemicMetrics:
+    """Spread statistics for a single update through ``n`` sites."""
+
+    def __init__(self, n: int, injection_time: float = 0.0):
+        if n <= 0:
+            raise ValueError("need at least one site")
+        self.n = n
+        self.injection_time = injection_time
+        self.receipt_times: Dict[int, float] = {}
+        self.update_sends = 0
+        self.comparisons = 0
+        self.cycles_run = 0
+        self.rejected_connections = 0
+
+    def record_receipt(self, site: int, time: float) -> None:
+        """Record the first time ``site`` learned the update."""
+        if site not in self.receipt_times:
+            self.receipt_times[site] = time
+
+    def record_update_send(self, count: int = 1) -> None:
+        self.update_sends += count
+
+    def record_comparison(self, count: int = 1) -> None:
+        self.comparisons += count
+
+    def record_rejection(self, count: int = 1) -> None:
+        self.rejected_connections += count
+
+    # -- derived quantities ------------------------------------------------
+
+    @property
+    def infected(self) -> int:
+        return len(self.receipt_times)
+
+    @property
+    def residue(self) -> float:
+        """Fraction of sites that never received the update."""
+        return (self.n - self.infected) / self.n
+
+    @property
+    def traffic_per_site(self) -> float:
+        """The paper's ``m``: update messages sent per site."""
+        return self.update_sends / self.n
+
+    def delays(self) -> List[float]:
+        return [t - self.injection_time for t in self.receipt_times.values()]
+
+    @property
+    def t_ave(self) -> float:
+        """Mean injection-to-arrival delay over receiving sites."""
+        delays = self.delays()
+        if not delays:
+            return math.nan
+        return sum(delays) / len(delays)
+
+    @property
+    def t_last(self) -> float:
+        """Delay until the last receiving site got the update."""
+        delays = self.delays()
+        if not delays:
+            return math.nan
+        return max(delays)
+
+    @property
+    def complete(self) -> bool:
+        return self.infected == self.n
+
+
+@dataclasses.dataclass(slots=True)
+class Summary:
+    """Mean / standard deviation / extremes of a sample."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    count: int
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "Summary":
+        values = [v for v in values if not math.isnan(v)]
+        if not values:
+            return cls(math.nan, math.nan, math.nan, math.nan, 0)
+        mean = sum(values) / len(values)
+        if len(values) > 1:
+            variance = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+        else:
+            variance = 0.0
+        return cls(
+            mean=mean,
+            std=math.sqrt(variance),
+            minimum=min(values),
+            maximum=max(values),
+            count=len(values),
+        )
+
+
+def mean(values: Sequence[float]) -> float:
+    values = [v for v in values if not math.isnan(v)]
+    if not values:
+        return math.nan
+    return sum(values) / len(values)

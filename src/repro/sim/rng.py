@@ -1,0 +1,59 @@
+"""Deterministic random-number streams.
+
+The paper's algorithms are *randomized*: every site independently makes
+random choices (partner selection, coin flips).  For reproducible
+simulations each site gets its own :class:`random.Random` stream derived
+from a master seed by hashing, so that
+
+* the same master seed always reproduces the same run, and
+* adding or removing one site does not perturb the streams of the
+  others (unlike handing out consecutive states from one generator).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict, Hashable
+
+
+def derive_seed(master_seed: int, *components: Hashable) -> int:
+    """Derive a child seed from a master seed and a label path.
+
+    Hash-based so the mapping is stable across Python versions and
+    insensitive to the order in which children are requested.
+    """
+    h = hashlib.blake2b(digest_size=8)
+    h.update(repr(master_seed).encode("utf-8"))
+    for component in components:
+        h.update(b"/")
+        h.update(repr(component).encode("utf-8"))
+    return int.from_bytes(h.digest(), "big")
+
+
+class RngRegistry:
+    """Hands out independent named random streams from one master seed."""
+
+    def __init__(self, master_seed: int):
+        self.master_seed = master_seed
+        self._streams: Dict[tuple, random.Random] = {}
+
+    def stream(self, *path: Hashable) -> random.Random:
+        """The stream for a label path, created on first use.
+
+        Typical paths: ``("site", 17)`` for site 17's protocol choices,
+        ``("mail",)`` for mail-loss coin flips.
+        """
+        key = tuple(path)
+        stream = self._streams.get(key)
+        if stream is None:
+            stream = random.Random(derive_seed(self.master_seed, *path))
+            self._streams[key] = stream
+        return stream
+
+    def site_stream(self, site_id: int) -> random.Random:
+        return self.stream("site", site_id)
+
+    def fork(self, *path: Hashable) -> "RngRegistry":
+        """A child registry with an independent seed namespace."""
+        return RngRegistry(derive_seed(self.master_seed, "fork", *path))

@@ -1,0 +1,146 @@
+"""Structured tracing of epidemics: per-cycle S/I/R census and news logs.
+
+The analysis of Section 1.4 is phrased in the susceptible / infective /
+removed fractions ``s, i, r``.  :class:`EpidemicTracer` samples those
+fractions every cycle for one tracked key, so a stochastic run can be
+laid directly against the deterministic ODE trajectory from
+:mod:`repro.analysis.epidemic_theory`.  :class:`NewsLog` records every
+first delivery (who, what, when, how) for debugging and for building
+custom metrics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Hashable, List, Optional
+
+from repro.core.store import ApplyResult, StoreUpdate
+from repro.protocols.base import Protocol
+from repro.protocols.rumor import RumorMongeringProtocol
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Census:
+    """One cycle's S/I/R counts for the traced key."""
+
+    cycle: int
+    susceptible: int
+    infective: int
+    removed: int
+
+    @property
+    def n(self) -> int:
+        return self.susceptible + self.infective + self.removed
+
+    @property
+    def s(self) -> float:
+        return self.susceptible / self.n
+
+    @property
+    def i(self) -> float:
+        return self.infective / self.n
+
+    @property
+    def r(self) -> float:
+        return self.removed / self.n
+
+
+class EpidemicTracer(Protocol):
+    """Samples the S/I/R census each cycle for one key.
+
+    Requires the rumor protocol whose hot list defines "infective";
+    sites knowing the value but not hot are "removed".  Attach *after*
+    the protocols it observes so each sample reflects the end of the
+    cycle.
+    """
+
+    name = "epidemic-tracer"
+
+    def __init__(self, rumor: RumorMongeringProtocol, key: Hashable):
+        super().__init__()
+        self.rumor = rumor
+        self.key = key
+        self.history: List[Census] = []
+
+    def run_cycle(self, cycle: int) -> None:
+        self.history.append(self.sample(cycle))
+
+    def sample(self, cycle: Optional[int] = None) -> Census:
+        cluster = self.cluster
+        susceptible = infective = removed = 0
+        for site_id in cluster.site_ids:
+            knows = cluster.sites[site_id].store.entry(self.key) is not None
+            if not knows:
+                susceptible += 1
+            elif self.rumor.is_infective(site_id, self.key):
+                infective += 1
+            else:
+                removed += 1
+        return Census(
+            cycle=cluster.cycle if cycle is None else cycle,
+            susceptible=susceptible,
+            infective=infective,
+            removed=removed,
+        )
+
+    def peak_infective(self) -> Census:
+        if not self.history:
+            raise ValueError("no samples recorded yet")
+        return max(self.history, key=lambda c: c.infective)
+
+    def final(self) -> Census:
+        if not self.history:
+            raise ValueError("no samples recorded yet")
+        return self.history[-1]
+
+    def curve(self) -> List[tuple]:
+        """(cycle, s, i, r) tuples — plot-ready."""
+        return [(c.cycle, c.s, c.i, c.r) for c in self.history]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class NewsEvent:
+    cycle: int
+    site: int
+    key: Hashable
+    result: ApplyResult
+
+
+class NewsLog(Protocol):
+    """Records every news delivery cluster-wide (any protocol)."""
+
+    name = "news-log"
+
+    def __init__(self, capacity: Optional[int] = None):
+        super().__init__()
+        self.capacity = capacity
+        self.events: List[NewsEvent] = []
+        self.dropped = 0
+
+    def attach(self, cluster) -> None:
+        super().attach(cluster)
+        cluster.add_observer(self._record)
+
+    def _record(self, site_id: int, update: StoreUpdate, result: ApplyResult) -> None:
+        if self.capacity is not None and len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        self.events.append(
+            NewsEvent(
+                cycle=self.cluster.cycle,
+                site=site_id,
+                key=update.key,
+                result=result,
+            )
+        )
+
+    def events_for(self, key: Hashable) -> List[NewsEvent]:
+        return [event for event in self.events if event.key == key]
+
+    def first_receipts(self, key: Hashable) -> dict:
+        """site -> first cycle it learned ``key``."""
+        receipts: dict = {}
+        for event in self.events:
+            if event.key == key and event.site not in receipts:
+                receipts[event.site] = event.cycle
+        return receipts

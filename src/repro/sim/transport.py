@@ -1,0 +1,94 @@
+"""Per-cycle connection accounting: limits, rejection, hunting (Section 1.4).
+
+Realistic servers can hold only a few simultaneous conversations.  The
+paper models this as a *connection limit*: within one cycle a site can be
+the target of at most ``connection_limit`` conversations; excess attempts
+are rejected.  A rejected initiator may *hunt* — re-draw partners up to
+``hunt_limit`` more times.  With connection limit 1 and an infinite hunt
+limit the set of conversations in a cycle forms a permutation, which the
+paper notes makes push and pull equivalent.
+
+The :class:`ConnectionLedger` tracks acceptances within the current cycle
+and must be reset at each cycle boundary by the cluster driver.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ConnectionPolicy:
+    """How many conversations a site will accept per cycle, and how hard
+    initiators try to find a free partner.
+
+    ``connection_limit=None`` means unlimited (the paper's default
+    idealization).  ``hunt_limit`` is the number of *additional* partner
+    draws after the first rejection; 0 reproduces the most pessimistic
+    assumption of Table 5.
+    """
+
+    connection_limit: Optional[int] = None
+    hunt_limit: int = 0
+
+    def __post_init__(self) -> None:
+        if self.connection_limit is not None and self.connection_limit < 1:
+            raise ValueError("connection_limit must be >= 1 or None")
+        if self.hunt_limit < 0:
+            raise ValueError("hunt_limit must be >= 0")
+
+    @property
+    def unlimited(self) -> bool:
+        return self.connection_limit is None
+
+
+UNLIMITED = ConnectionPolicy(connection_limit=None, hunt_limit=0)
+
+
+class ConnectionLedger:
+    """Tracks conversations accepted by each site within one cycle."""
+
+    __slots__ = ("policy", "_accepted", "rejections", "attempts")
+
+    def __init__(self, policy: ConnectionPolicy = UNLIMITED):
+        self.policy = policy
+        self._accepted: Dict[int, int] = {}
+        self.rejections = 0
+        self.attempts = 0
+
+    def reset(self) -> None:
+        """Start a new cycle: all capacity is available again."""
+        self._accepted.clear()
+
+    def try_connect(self, target: int) -> bool:
+        """Attempt a conversation with ``target``; True when accepted."""
+        self.attempts += 1
+        if self.policy.unlimited:
+            self._accepted[target] = self._accepted.get(target, 0) + 1
+            return True
+        used = self._accepted.get(target, 0)
+        if used >= self.policy.connection_limit:
+            self.rejections += 1
+            return False
+        self._accepted[target] = used + 1
+        return True
+
+    def accepted_by(self, target: int) -> int:
+        return self._accepted.get(target, 0)
+
+    def connect_with_hunting(self, chooser, initiator: int) -> Optional[int]:
+        """Draw partners until one accepts, respecting the hunt limit.
+
+        ``chooser`` is a callable returning a partner site id for
+        ``initiator`` (typically a spatial distribution's ``choose``).
+        Returns the accepted partner or ``None`` if every attempt was
+        rejected.
+        """
+        for __ in range(self.policy.hunt_limit + 1):
+            partner = chooser(initiator)
+            if partner is None:
+                return None
+            if self.try_connect(partner):
+                return partner
+        return None

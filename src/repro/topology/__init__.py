@@ -1,0 +1,53 @@
+"""Network topologies, distances and spatial partner-selection (Section 3).
+
+The spatial-distribution results require a network with per-link costs:
+conversations between distant sites traverse many links, so partner
+selection should favor nearby sites.  This package provides:
+
+* :mod:`repro.topology.graph` — an undirected multigraph of network
+  nodes, a subset of which host database sites, with shortest-path
+  routing and labeled links;
+* :mod:`repro.topology.builders` — lines, rings, D-dimensional meshes,
+  trees, stars, random graphs, and the two pathological topologies of
+  Figures 1 and 2;
+* :mod:`repro.topology.cin` — a synthetic stand-in for the Xerox
+  Corporate Internet (see DESIGN.md §5);
+* :mod:`repro.topology.distance` — all-pairs site distances and the
+  cumulative-count function ``Q_s(d)``;
+* :mod:`repro.topology.spatial` — the partner-selection distributions:
+  uniform, ``d^-a``, ``Q_s(d)^-a``, ``1/(d·Q_s(d))`` and the paper's
+  smoothed form (3.1.1).
+"""
+
+from repro.topology.graph import Topology
+from repro.topology.distance import SiteDistances
+from repro.topology.spatial import (
+    PartnerSelector,
+    UniformSelector,
+    DistancePowerSelector,
+    QPowerSelector,
+    QDistanceSelector,
+    SortedListSelector,
+    selector_for,
+)
+from repro.topology import builders
+from repro.topology.cin import build_cin_like_topology, CinNetwork, CinParameters
+from repro.topology.hierarchy import HierarchicalSelector, elect_backbone
+
+__all__ = [
+    "Topology",
+    "SiteDistances",
+    "PartnerSelector",
+    "UniformSelector",
+    "DistancePowerSelector",
+    "QPowerSelector",
+    "QDistanceSelector",
+    "SortedListSelector",
+    "selector_for",
+    "builders",
+    "build_cin_like_topology",
+    "CinNetwork",
+    "CinParameters",
+    "HierarchicalSelector",
+    "elect_backbone",
+]

@@ -1,0 +1,223 @@
+"""Standard and pathological topology constructors.
+
+Includes the regular topologies the paper analyzes (line, ring,
+D-dimensional meshes), generic test graphs (trees, stars, connected
+random graphs), and the two pathological examples of Section 3.2
+(Figures 1 and 2) on which spatially-distributed rumor mongering can
+fail.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import List, Sequence, Tuple
+
+from repro.topology.graph import Topology
+
+
+def line(n: int) -> Topology:
+    """``n`` sites on a line, each one link from its neighbors."""
+    if n < 1:
+        raise ValueError("need at least one site")
+    topo = Topology()
+    for i in range(n):
+        topo.add_node(i, site=True)
+    for i in range(n - 1):
+        topo.add_edge(i, i + 1)
+    return topo
+
+
+def ring(n: int) -> Topology:
+    """``n`` sites on a cycle."""
+    if n < 3:
+        raise ValueError("a ring needs at least three sites")
+    topo = line(n)
+    topo.add_edge(n - 1, 0)
+    return topo
+
+
+def mesh(side_lengths: Sequence[int]) -> Topology:
+    """A D-dimensional rectilinear mesh of sites.
+
+    ``side_lengths`` gives the extent in each dimension; e.g.
+    ``mesh([16, 16])`` is a 16x16 2-D grid.  ``Q_s(d)`` on such a mesh
+    is ``Theta(d^D)``, the fact the Q-based distributions exploit.
+    """
+    if not side_lengths or any(s < 1 for s in side_lengths):
+        raise ValueError("side lengths must be positive")
+    topo = Topology()
+    coords = list(itertools.product(*(range(s) for s in side_lengths)))
+    index = {c: i for i, c in enumerate(coords)}
+    for i in range(len(coords)):
+        topo.add_node(i, site=True)
+    for coord in coords:
+        for axis in range(len(side_lengths)):
+            neighbor = list(coord)
+            neighbor[axis] += 1
+            neighbor = tuple(neighbor)
+            if neighbor in index:
+                topo.add_edge(index[coord], index[neighbor])
+    return topo
+
+
+def grid(rows: int, cols: int) -> Topology:
+    """Convenience 2-D mesh."""
+    return mesh([rows, cols])
+
+
+def star(n_leaves: int) -> Topology:
+    """One hub site with ``n_leaves`` leaf sites."""
+    if n_leaves < 1:
+        raise ValueError("need at least one leaf")
+    topo = Topology()
+    topo.add_node(0, site=True)
+    for i in range(1, n_leaves + 1):
+        topo.add_node(i, site=True)
+        topo.add_edge(0, i)
+    return topo
+
+
+def complete_binary_tree(depth: int) -> Topology:
+    """A complete binary tree of sites; ``2^(depth+1) - 1`` nodes."""
+    if depth < 0:
+        raise ValueError("depth must be >= 0")
+    topo = Topology()
+    n = 2 ** (depth + 1) - 1
+    for i in range(n):
+        topo.add_node(i, site=True)
+    for i in range(1, n):
+        topo.add_edge(i, (i - 1) // 2)
+    return topo
+
+
+def random_connected(n: int, extra_edges: int, seed: int) -> Topology:
+    """A connected random graph: random spanning tree plus extra links."""
+    if n < 1:
+        raise ValueError("need at least one site")
+    rng = random.Random(seed)
+    topo = Topology()
+    for i in range(n):
+        topo.add_node(i, site=True)
+    nodes = list(range(n))
+    rng.shuffle(nodes)
+    for i in range(1, n):
+        # Attach each node to a random earlier node: a uniform random
+        # recursive tree, guaranteed connected.
+        topo.add_edge(nodes[i], nodes[rng.randrange(i)])
+    added = 0
+    attempts = 0
+    while added < extra_edges and attempts < 50 * max(extra_edges, 1):
+        attempts += 1
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v and (min(u, v), max(u, v)) not in set(topo.edges):
+            topo.add_edge(u, v)
+            added += 1
+    return topo
+
+
+def figure1_topology(m: int, spur_length: int = 3) -> Tuple[Topology, int, int, List[int]]:
+    """The paper's Figure 1: two nearby sites far from the main group.
+
+    Sites ``s`` and ``t`` are adjacent; ``m`` sites ``u_1..u_m`` hang
+    off a shared hub reachable from both ``s`` and ``t`` through
+    ``spur_length`` non-site relay nodes, so every ``u_i`` is
+    equidistant from ``s`` and from ``t``.  With a ``Q^-2``-style
+    distribution and ``m > k``, push rumor mongering started at ``s``
+    or ``t`` has a significant chance of dying inside ``{s, t}``.
+
+    Returns ``(topology, s, t, [u_1..u_m])``.
+    """
+    if m < 1:
+        raise ValueError("need at least one distant site")
+    if spur_length < 1:
+        raise ValueError("spur must have at least one relay node")
+    topo = Topology()
+    s = topo.add_node(0, site=True)
+    t = topo.add_node(1, site=True)
+    topo.add_edge(s, t)
+    hub = topo.new_node(site=False)
+    # Two relay chains of equal length so d(s, u_i) == d(t, u_i).
+    previous = s
+    for __ in range(spur_length):
+        relay = topo.new_node(site=False)
+        topo.add_edge(previous, relay)
+        previous = relay
+    topo.add_edge(previous, hub)
+    previous = t
+    for __ in range(spur_length):
+        relay = topo.new_node(site=False)
+        topo.add_edge(previous, relay)
+        previous = relay
+    topo.add_edge(previous, hub)
+    group = []
+    for __ in range(m):
+        u = topo.new_node(site=True)
+        topo.add_edge(hub, u)
+        group.append(u)
+    return topo, s, t, group
+
+
+def figure2_topology(depth: int, spur_length: int) -> Tuple[Topology, int, int]:
+    """The paper's Figure 2: a lone site far from a complete binary tree.
+
+    Site ``s`` is connected to the root of a complete binary tree of
+    sites through a chain of ``spur_length`` non-site relays, with
+    ``spur_length + 1 > depth`` so the distance from ``s`` to the root
+    exceeds the height of the tree.  With a ``Q^-2``-style
+    distribution, push rumor mongering started inside the tree may
+    never contact ``s`` while the rumor is hot.
+
+    Returns ``(topology, s, root)``.
+    """
+    if spur_length + 1 <= depth:
+        raise ValueError(
+            "spur must make s farther from the root than the tree height"
+        )
+    tree = complete_binary_tree(depth)
+    topo = Topology()
+    for node in tree.nodes:
+        topo.add_node(node, site=True)
+    for u, v in tree.edges:
+        topo.add_edge(u, v)
+    root = 0
+    s = topo.new_node(site=True)
+    previous = s
+    for __ in range(spur_length):
+        relay = topo.new_node(site=False)
+        topo.add_edge(previous, relay)
+        previous = relay
+    topo.add_edge(previous, root)
+    return topo, s, root
+
+
+def two_clusters(n1: int, n2: int, bridge_length: int = 4) -> Tuple[Topology, Tuple[int, int]]:
+    """Two densely meshed clusters joined by one long chain of relays.
+
+    A minimal model of the CIN's transatlantic situation: the chain's
+    middle link is labeled ``"bridge"``.  Returns the topology and the
+    labeled bridge edge.
+    """
+    if n1 < 1 or n2 < 1:
+        raise ValueError("clusters must be non-empty")
+    if bridge_length < 1:
+        raise ValueError("bridge must have at least one link")
+    topo = Topology()
+    first = [topo.new_node(site=True) for __ in range(n1)]
+    second = [topo.new_node(site=True) for __ in range(n2)]
+    for group in (first, second):
+        hub = group[0]
+        for member in group[1:]:
+            topo.add_edge(hub, member)
+        # A few chords so the cluster is not a pure star.
+        for i in range(1, len(group) - 1, 3):
+            topo.add_edge(group[i], group[i + 1])
+    # Build the relay chain and label its middle link "bridge".
+    chain = [first[0]]
+    for __ in range(bridge_length - 1):
+        chain.append(topo.new_node(site=False))
+    chain.append(second[0])
+    middle = bridge_length // 2
+    for i, (u, v) in enumerate(zip(chain, chain[1:])):
+        topo.add_edge(u, v, label="bridge" if i == middle else None)
+    return topo, topo.labeled_edge("bridge")

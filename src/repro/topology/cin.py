@@ -1,0 +1,156 @@
+"""A synthetic stand-in for the Xerox Corporate Internet (CIN).
+
+The paper's spatial experiments (Tables 4 and 5) ran on the actual CIN
+topology, which is proprietary and long gone.  The paper describes it
+as: several hundred Ethernets connected by gateways (internetwork
+routers) and phone lines; several hundred Clearinghouse servers; a
+packet from Japan to Europe may traverse up to 14 gateways; small
+sections are linear; and a *pair of transatlantic links* are the only
+routes connecting a few tens of European sites to several hundred North
+American sites — the far end of the link the paper reports traffic for
+is at Bushey, England.
+
+:func:`build_cin_like_topology` deterministically generates a network
+with those qualitative features:
+
+* a US backbone of gateway routers in a chain with a few cross links
+  (so coast-to-coast paths traverse many gateways);
+* metro areas hanging off each backbone gateway, each consisting of a
+  few Ethernets with a handful of server sites each (locally dense);
+* two linear phone-line chains of sites (the paper's linear sections);
+* a European region of a few tens of sites connected to the US only by
+  two transatlantic links, one of which is labeled ``"bushey"``.
+
+Absolute traffic numbers on this synthetic network differ from the
+paper's, but the features the spatial results depend on — scarce
+critical links, local dimension between 1 and 2, a few hundred sites —
+are reproduced, so orderings and approximate ratios carry over.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, List, Tuple
+
+from repro.sim.metrics import Edge
+from repro.topology.graph import Topology
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class CinParameters:
+    """Knobs for the synthetic CIN generator.
+
+    Defaults produce roughly 300 sites, matching the paper's "domain
+    stored at 300 sites" scenario.
+    """
+
+    backbone_hubs: int = 8
+    metro_ethernets: Tuple[int, int] = (3, 5)   # per hub, inclusive range
+    sites_per_ethernet: Tuple[int, int] = (5, 9)
+    linear_chains: int = 2
+    linear_chain_length: int = 10
+    europe_ethernets: int = 5
+    europe_sites_per_ethernet: Tuple[int, int] = (5, 7)
+    backbone_chords: int = 2
+    seed: int = 1987
+
+
+@dataclasses.dataclass(slots=True)
+class CinNetwork:
+    """The generated network plus the metadata experiments need."""
+
+    topology: Topology
+    regions: Dict[str, List[int]]
+    bushey: Edge
+    transatlantic: Tuple[Edge, Edge]
+
+    @property
+    def sites(self) -> List[int]:
+        return self.topology.sites
+
+    @property
+    def site_count(self) -> int:
+        return self.topology.site_count
+
+    @property
+    def europe_sites(self) -> List[int]:
+        return self.regions["europe"]
+
+    @property
+    def us_sites(self) -> List[int]:
+        return [s for region, sites in self.regions.items() if region != "europe" for s in sites]
+
+
+def _add_ethernet(topo: Topology, gateway: int, n_sites: int) -> List[int]:
+    """An Ethernet: a subrouter on the gateway with sites attached."""
+    subrouter = topo.new_node(site=False)
+    topo.add_edge(gateway, subrouter)
+    sites = []
+    for __ in range(n_sites):
+        site = topo.new_node(site=True)
+        topo.add_edge(subrouter, site)
+        sites.append(site)
+    return sites
+
+
+def build_cin_like_topology(params: CinParameters | None = None) -> CinNetwork:
+    """Generate the synthetic CIN (deterministic for a given seed)."""
+    params = params or CinParameters()
+    rng = random.Random(params.seed)
+    topo = Topology()
+    regions: Dict[str, List[int]] = {}
+
+    # --- US backbone: a chain of gateway routers ----------------------
+    hubs = [topo.new_node(site=False) for __ in range(params.backbone_hubs)]
+    for u, v in zip(hubs, hubs[1:]):
+        topo.add_edge(u, v)
+    # A few chords so the backbone is not a pure line.
+    for __ in range(params.backbone_chords):
+        i = rng.randrange(len(hubs) - 3)
+        j = i + 2 + rng.randrange(min(3, len(hubs) - i - 2))
+        topo.add_edge(hubs[i], hubs[j])
+
+    # --- Metro areas: Ethernets hanging off each hub -------------------
+    for index, hub in enumerate(hubs):
+        metro_sites: List[int] = []
+        n_ethernets = rng.randint(*params.metro_ethernets)
+        for __ in range(n_ethernets):
+            n_sites = rng.randint(*params.sites_per_ethernet)
+            metro_sites.extend(_add_ethernet(topo, hub, n_sites))
+        regions[f"metro-{index}"] = metro_sites
+
+    # --- Linear phone-line chains (the paper's linear sections) -------
+    for chain_index in range(params.linear_chains):
+        attach = hubs[rng.randrange(len(hubs))]
+        chain_sites: List[int] = []
+        previous = attach
+        for __ in range(params.linear_chain_length):
+            site = topo.new_node(site=True)
+            topo.add_edge(previous, site)
+            chain_sites.append(site)
+            previous = site
+        regions[f"chain-{chain_index}"] = chain_sites
+
+    # --- Europe: a few tens of sites behind two transatlantic links ---
+    europe_gateway = topo.new_node(site=False)     # Bushey, England
+    europe_gateway_2 = topo.new_node(site=False)
+    topo.add_edge(europe_gateway, europe_gateway_2)
+    # The two transatlantic links attach to different US hubs, so each
+    # is genuinely a distinct route across the Atlantic.
+    bushey = topo.add_edge(hubs[-1], europe_gateway, label="bushey")
+    transatlantic_2 = topo.add_edge(hubs[-2], europe_gateway_2, label="transatlantic-2")
+    europe_sites: List[int] = []
+    for index in range(params.europe_ethernets):
+        gateway = europe_gateway if index % 2 == 0 else europe_gateway_2
+        n_sites = rng.randint(*params.europe_sites_per_ethernet)
+        europe_sites.extend(_add_ethernet(topo, gateway, n_sites))
+    regions["europe"] = europe_sites
+
+    topo.validate()
+    return CinNetwork(
+        topology=topo,
+        regions=regions,
+        bushey=bushey,
+        transatlantic=(bushey, transatlantic_2),
+    )

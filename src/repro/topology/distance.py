@@ -1,0 +1,126 @@
+"""Site-to-site distances and the cumulative count ``Q_s(d)`` (Section 3).
+
+``Q_s(d)`` is the number of database sites at distance ``d`` or less
+from site ``s`` (excluding ``s`` itself).  On a D-dimensional mesh
+``Q_s(d)`` is ``Theta(d^D)``, which is what lets ``Q``-based partner
+distributions adapt to the network's *local dimension* — the key idea
+behind the paper's ``1/Q_s(d)^2`` distribution.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Sequence, Tuple
+
+from repro.topology.graph import Topology
+
+
+class SiteDistances:
+    """Precomputed distances between the *sites* of a topology.
+
+    Distances are measured over the whole graph (through non-site
+    nodes), but only site-to-site values are retained.
+    """
+
+    def __init__(self, topology: Topology, sites: Sequence[int] | None = None):
+        """``sites`` restricts the matrix to a subset of the topology's
+        sites (a domain's replica set); default is all sites."""
+        topology.validate()
+        self.topology = topology
+        if sites is None:
+            self.sites = topology.sites
+        else:
+            unknown = set(sites) - set(topology.sites)
+            if unknown:
+                raise ValueError(f"not topology sites: {sorted(unknown)}")
+            self.sites = list(sites)
+        self._site_index: Dict[int, int] = {s: i for i, s in enumerate(self.sites)}
+        # _rows[i][j] = hop distance between sites[i] and sites[j]
+        self._rows: List[List[int]] = []
+        for s in self.sites:
+            dist = topology.distances_from(s)
+            row = []
+            for t in self.sites:
+                if t not in dist:
+                    raise ValueError(f"sites {s} and {t} are not connected")
+                row.append(dist[t])
+            self._rows.append(row)
+        # Per-site sorted views, lazily built.
+        self._sorted_cache: Dict[int, Tuple[List[int], List[int], List[int]]] = {}
+
+    @property
+    def site_count(self) -> int:
+        return len(self.sites)
+
+    def distance(self, s: int, t: int) -> int:
+        return self._rows[self._site_index[s]][self._site_index[t]]
+
+    def row(self, s: int) -> Sequence[int]:
+        """Distances from site ``s`` to every site (in ``self.sites`` order)."""
+        return self._rows[self._site_index[s]]
+
+    def _sorted_view(self, s: int) -> Tuple[List[int], List[int], List[int]]:
+        """``(others, dists, unique_ds)`` for site ``s``.
+
+        ``others`` are the other sites sorted by distance (ties broken
+        by site id for determinism), ``dists`` the matching distances,
+        and ``unique_ds`` the sorted distinct distances.
+        """
+        cached = self._sorted_cache.get(s)
+        if cached is not None:
+            return cached
+        row = self.row(s)
+        pairs = sorted(
+            (d, site)
+            for site, d in zip(self.sites, row)
+            if site != s
+        )
+        others = [site for __, site in pairs]
+        dists = [d for d, __ in pairs]
+        unique_ds = sorted(set(dists))
+        result = (others, dists, unique_ds)
+        self._sorted_cache[s] = result
+        return result
+
+    def others_by_distance(self, s: int) -> Tuple[List[int], List[int]]:
+        """Other sites sorted by distance from ``s``, with their distances."""
+        others, dists, __ = self._sorted_view(s)
+        return others, dists
+
+    def q(self, s: int, d: int) -> int:
+        """``Q_s(d)``: number of sites within distance ``d`` of ``s``.
+
+        ``s`` itself is excluded; ``Q_s(0) = 0`` and ``Q_s(max) = n-1``.
+        """
+        if d < 0:
+            return 0
+        __, dists, ___ = self._sorted_view(s)
+        return bisect.bisect_right(dists, d)
+
+    def distance_histogram(self, s: int) -> List[Tuple[int, int]]:
+        """Sorted ``(distance, count)`` pairs for sites around ``s``."""
+        __, dists, unique_ds = self._sorted_view(s)
+        histogram = []
+        previous = 0
+        for d in unique_ds:
+            q = bisect.bisect_right(dists, d)
+            histogram.append((d, q - previous))
+            previous = q
+        return histogram
+
+    def eccentricity(self, s: int) -> int:
+        """Largest site-to-site distance from ``s``."""
+        __, dists, ___ = self._sorted_view(s)
+        return dists[-1] if dists else 0
+
+    def diameter(self) -> int:
+        """Largest site-to-site distance in the network."""
+        return max((self.eccentricity(s) for s in self.sites), default=0)
+
+    def mean_distance(self) -> float:
+        """Mean distance over ordered site pairs."""
+        n = self.site_count
+        if n < 2:
+            return 0.0
+        total = sum(sum(row) for row in self._rows)
+        return total / (n * (n - 1))

@@ -1,0 +1,129 @@
+"""A two-level dynamic hierarchy of gossip partners (Section 4).
+
+The paper's closing suggestion: "better performance might be achieved
+by constructing a dynamic hierarchy, in which sites at high levels
+contact other high level servers at long distances and lower level
+servers at short distances.  (The key problem with such a mechanism is
+maintaining the hierarchical structure.)"
+
+This module implements that sketch:
+
+* :func:`elect_backbone` — choose the high-level sites by the greedy
+  farthest-point (k-center) heuristic, so the backbone spreads evenly
+  across the network.  Because the election is a deterministic
+  function of the distance matrix, every site can recompute it locally
+  and the structure maintains itself as long as membership is known —
+  the paper's "key problem" is reduced to the membership knowledge the
+  protocols already need;
+* :class:`HierarchicalSelector` — backbone sites flip a coin between a
+  uniform long-range partner (among backbone peers) and a spatially
+  local one; leaf sites always choose locally.  Long-range traffic is
+  thus confined to O(sqrt(n) or so) backbone sites while updates still
+  cross the network in a couple of backbone hops.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.topology.distance import SiteDistances
+from repro.topology.spatial import (
+    PartnerSelector,
+    SortedListSelector,
+    UniformSelector,
+)
+
+
+def elect_backbone(distances: SiteDistances, count: int) -> List[int]:
+    """Greedy farthest-point election of ``count`` backbone sites.
+
+    Starts from the site with the smallest id among those of maximal
+    eccentricity (a deterministic, recomputable choice) and repeatedly
+    adds the site farthest from the backbone so far.  Classic 2-approx
+    k-center — the backbone ends up spread across the network.
+    """
+    if count < 1:
+        raise ValueError("backbone needs at least one site")
+    sites = distances.sites
+    if count >= len(sites):
+        return list(sites)
+    start = min(
+        sites,
+        key=lambda s: (-distances.eccentricity(s), s),
+    )
+    backbone = [start]
+    remaining = [s for s in sites if s != start]
+    while len(backbone) < count:
+        def distance_to_backbone(site: int) -> int:
+            return min(distances.distance(site, b) for b in backbone)
+
+        best = max(remaining, key=lambda s: (distance_to_backbone(s), -s))
+        backbone.append(best)
+        remaining.remove(best)
+    return sorted(backbone)
+
+
+class HierarchicalSelector(PartnerSelector):
+    """Two-level partner selection per the Section 4 sketch.
+
+    * Leaf sites always select with the local (spatial) distribution.
+    * Backbone sites select another backbone site uniformly with
+      probability ``long_range_probability``, otherwise locally.
+    """
+
+    def __init__(
+        self,
+        distances: SiteDistances,
+        backbone: Optional[Sequence[int]] = None,
+        backbone_count: Optional[int] = None,
+        local_a: float = 2.0,
+        long_range_probability: float = 0.5,
+    ):
+        if not 0.0 <= long_range_probability <= 1.0:
+            raise ValueError("long_range_probability must be in [0, 1]")
+        if (backbone is None) == (backbone_count is None):
+            raise ValueError("give exactly one of backbone or backbone_count")
+        if backbone is None:
+            backbone = elect_backbone(distances, backbone_count)
+        else:
+            unknown = set(backbone) - set(distances.sites)
+            if unknown:
+                raise ValueError(f"backbone sites not in network: {sorted(unknown)}")
+            backbone = sorted(set(backbone))
+        if len(backbone) < 2 and len(distances.sites) > 1:
+            raise ValueError("backbone needs at least two sites to gossip")
+        self.backbone = list(backbone)
+        self._backbone_set = set(backbone)
+        self.long_range_probability = long_range_probability
+        self._local = SortedListSelector(distances, a=local_a)
+        self._long_range = UniformSelector(self.backbone)
+
+    def is_backbone(self, site: int) -> bool:
+        return site in self._backbone_set
+
+    def choose(self, site: int, rng) -> int:
+        if (
+            site in self._backbone_set
+            and rng.random() < self.long_range_probability
+        ):
+            return self._long_range.choose(site, rng)
+        return self._local.choose(site, rng)
+
+    def probability(self, site: int, partner: int) -> float:
+        local = self._local.probability(site, partner)
+        if site not in self._backbone_set:
+            return local
+        p_long = self.long_range_probability
+        long_range = (
+            self._long_range.probability(site, partner)
+            if partner in self._backbone_set and partner != site
+            else 0.0
+        )
+        return p_long * long_range + (1.0 - p_long) * local
+
+    def describe(self) -> str:
+        return (
+            f"hierarchy(backbone={len(self.backbone)}, "
+            f"p_long={self.long_range_probability:g}, "
+            f"local={self._local.describe()})"
+        )

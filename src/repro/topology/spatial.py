@@ -1,0 +1,253 @@
+"""Spatial partner-selection distributions (Section 3).
+
+A partner selector answers "which site should ``s`` talk to this
+cycle?".  The paper studies several families:
+
+* **uniform** — every other site equally likely (the baseline whose
+  per-link traffic overloads critical links);
+* ``d^-a`` — probability proportional to a power of the distance (the
+  linear-network analysis of Section 3);
+* ``Q_s(d)^-a`` and ``1/(d * Q_s(d))`` — distributions parameterized by
+  the cumulative site count ``Q_s(d)``, which adapt to the network's
+  local dimension;
+* the **sorted-list form (3.1.1)** — each site sorts the others by
+  distance and selects position ``i`` with probability ``f(i) = i^-a``,
+  averaging probabilities over equidistant sites:
+
+      p(d) = (Q(d-1)^{1-a} - Q(d)^{1-a}) / (Q(d) - Q(d-1))
+
+  (with one added to ``Q`` throughout, avoiding the singularity at
+  ``Q(d) = 0``).  This is the form used for Tables 4 and 5 and the one
+  deployed on the CIN.
+
+All selectors draw from precomputed per-site cumulative weight tables,
+so a choice is O(log n) after an O(n) per-site setup on first use.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.topology.distance import SiteDistances
+
+
+class PartnerSelector:
+    """Interface: map (site, rng) to a partner site."""
+
+    def choose(self, site: int, rng) -> int:
+        raise NotImplementedError
+
+    def probability(self, site: int, partner: int) -> float:
+        """Exact selection probability (used by tests and analysis)."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+class UniformSelector(PartnerSelector):
+    """Choose uniformly among all other sites."""
+
+    def __init__(self, sites: Sequence[int]):
+        if len(sites) < 2:
+            raise ValueError("need at least two sites")
+        self._sites = list(sites)
+        self._index = {s: i for i, s in enumerate(self._sites)}
+
+    def choose(self, site: int, rng) -> int:
+        n = len(self._sites)
+        pick = rng.randrange(n - 1)
+        own = self._index[site]
+        if pick >= own:
+            pick += 1
+        return self._sites[pick]
+
+    def probability(self, site: int, partner: int) -> float:
+        if partner == site:
+            return 0.0
+        return 1.0 / (len(self._sites) - 1)
+
+    def describe(self) -> str:
+        return "uniform"
+
+
+class _WeightedSelector(PartnerSelector):
+    """Base class: per-site weight tables sampled by inverse CDF."""
+
+    def __init__(self, distances: SiteDistances):
+        self._distances = distances
+        self._tables: Dict[int, Tuple[List[int], List[float]]] = {}
+
+    def _weights(self, site: int, others: List[int], dists: List[int]) -> List[float]:
+        raise NotImplementedError
+
+    def _table(self, site: int) -> Tuple[List[int], List[float]]:
+        cached = self._tables.get(site)
+        if cached is not None:
+            return cached
+        others, dists = self._distances.others_by_distance(site)
+        weights = self._weights(site, others, dists)
+        if len(weights) != len(others):
+            raise AssertionError("weight vector length mismatch")
+        cumulative: List[float] = []
+        total = 0.0
+        for w in weights:
+            if w < 0 or not math.isfinite(w):
+                raise ValueError(f"invalid weight {w} for site {site}")
+            total += w
+            cumulative.append(total)
+        if total <= 0:
+            raise ValueError(f"site {site} has no positive-weight partners")
+        table = (others, cumulative)
+        self._tables[site] = table
+        return table
+
+    def choose(self, site: int, rng) -> int:
+        others, cumulative = self._table(site)
+        target = rng.random() * cumulative[-1]
+        index = bisect.bisect_right(cumulative, target)
+        if index >= len(others):  # guard against floating-point edge
+            index = len(others) - 1
+        return others[index]
+
+    def probability(self, site: int, partner: int) -> float:
+        others, cumulative = self._table(site)
+        total = cumulative[-1]
+        for i, other in enumerate(others):
+            if other == partner:
+                weight = cumulative[i] - (cumulative[i - 1] if i else 0.0)
+                return weight / total
+        return 0.0
+
+
+class DistancePowerSelector(_WeightedSelector):
+    """Probability proportional to ``d^-a`` (Section 3's linear analysis)."""
+
+    def __init__(self, distances: SiteDistances, a: float):
+        super().__init__(distances)
+        self.a = a
+
+    def _weights(self, site: int, others: List[int], dists: List[int]) -> List[float]:
+        return [float(d) ** (-self.a) for d in dists]
+
+    def describe(self) -> str:
+        return f"d^-{self.a:g}"
+
+
+class QPowerSelector(_WeightedSelector):
+    """Probability proportional to ``Q_s(d)^-a``.
+
+    With ``a = 2`` this is the ``1/Q_s(d)^2`` distribution the paper's
+    production Clearinghouse release shipped with.
+    """
+
+    def __init__(self, distances: SiteDistances, a: float = 2.0):
+        super().__init__(distances)
+        self.a = a
+
+    def _weights(self, site: int, others: List[int], dists: List[int]) -> List[float]:
+        return [self._distances.q(site, d) ** (-self.a) for d in dists]
+
+    def describe(self) -> str:
+        return f"Q^-{self.a:g}"
+
+
+class QDistanceSelector(_WeightedSelector):
+    """Probability proportional to ``1/(d * Q_s(d))``.
+
+    The paper conjectured distributions between ``1/(d Q)`` and
+    ``1/Q^2`` scale best; simulations found ``1/Q^2`` outperforms this
+    one, which we keep as a comparison point.
+    """
+
+    def _weights(self, site: int, others: List[int], dists: List[int]) -> List[float]:
+        return [1.0 / (d * self._distances.q(site, d)) for d in dists]
+
+    def describe(self) -> str:
+        return "1/(d*Q)"
+
+
+class SortedListSelector(_WeightedSelector):
+    """The paper's smoothed sorted-list distribution, equation (3.1.1).
+
+    ``form="integral"`` reproduces the paper exactly: ``f(i) = i^-a`` is
+    approximated by an integral and one is added to ``Q`` throughout to
+    avoid the singularity at ``Q(d) = 0``.  ``form="exact"`` instead
+    averages the exact ``f(i)`` sum over equidistant sites; the two
+    agree closely and the exact form needs no singularity fix.
+    """
+
+    def __init__(self, distances: SiteDistances, a: float, form: str = "integral"):
+        if form not in ("integral", "exact"):
+            raise ValueError("form must be 'integral' or 'exact'")
+        super().__init__(distances)
+        self.a = a
+        self.form = form
+
+    def _per_distance_weight(self, q_lo: int, q_hi: int) -> float:
+        """Average selection weight for one site at a distance band that
+        covers sorted positions ``q_lo + 1 .. q_hi``."""
+        count = q_hi - q_lo
+        if self.form == "exact":
+            return sum(i ** (-self.a) for i in range(q_lo + 1, q_hi + 1)) / count
+        # Integral approximation with the paper's +1 correction.
+        lo = q_lo + 1
+        hi = q_hi + 1
+        if self.a == 1.0:
+            return (math.log(hi) - math.log(lo)) / count
+        exponent = 1.0 - self.a
+        return abs(lo ** exponent - hi ** exponent) / count
+
+    def _weights(self, site: int, others: List[int], dists: List[int]) -> List[float]:
+        weights: List[float] = []
+        index = 0
+        n = len(dists)
+        q_lo = 0
+        while index < n:
+            d = dists[index]
+            q_hi = q_lo
+            while q_hi < n and dists[q_hi] == d:
+                q_hi += 1
+            weight = self._per_distance_weight(q_lo, q_hi)
+            weights.extend([weight] * (q_hi - q_lo))
+            index = q_hi
+            q_lo = q_hi
+        return weights
+
+    def describe(self) -> str:
+        return f"sorted-list a={self.a:g} ({self.form})"
+
+
+def selector_for(
+    kind: str,
+    distances: Optional[SiteDistances] = None,
+    sites: Optional[Sequence[int]] = None,
+    a: float = 2.0,
+) -> PartnerSelector:
+    """Factory used by experiments and examples.
+
+    ``kind`` is one of ``"uniform"``, ``"dpower"``, ``"qpower"``,
+    ``"dq"``, ``"paper"`` (equation 3.1.1, integral form) or
+    ``"paper-exact"``.
+    """
+    if kind == "uniform":
+        if sites is None:
+            if distances is None:
+                raise ValueError("uniform selector needs sites or distances")
+            sites = distances.sites
+        return UniformSelector(sites)
+    if distances is None:
+        raise ValueError(f"selector {kind!r} needs site distances")
+    if kind == "dpower":
+        return DistancePowerSelector(distances, a)
+    if kind == "qpower":
+        return QPowerSelector(distances, a)
+    if kind == "dq":
+        return QDistanceSelector(distances)
+    if kind == "paper":
+        return SortedListSelector(distances, a, form="integral")
+    if kind == "paper-exact":
+        return SortedListSelector(distances, a, form="exact")
+    raise ValueError(f"unknown selector kind {kind!r}")

@@ -1,0 +1,22 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.store import ReplicaStore
+from repro.core.timestamps import SequenceClock, Timestamp
+
+
+@pytest.fixture
+def store() -> ReplicaStore:
+    """A store for site 0 with a deterministic sequence clock."""
+    return ReplicaStore(site_id=0, clock=SequenceClock(site=0))
+
+
+def make_store(site_id: int, start: float = 0.0) -> ReplicaStore:
+    return ReplicaStore(site_id=site_id, clock=SequenceClock(site=site_id, start=start))
+
+
+def ts(time: float, site: int = 0, seq: int = 0) -> Timestamp:
+    return Timestamp(time=time, site=site, sequence=seq)

@@ -1,0 +1,138 @@
+"""The Sarin & Lynch-style acknowledgment GC baseline (Section 2)."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.protocols.ackgc import AckBasedCertificateGC
+from repro.protocols.anti_entropy import AntiEntropyConfig, AntiEntropyProtocol
+from repro.protocols.base import ExchangeMode
+
+
+def ack_cluster(n=12, seed=0):
+    cluster = Cluster(n=n, seed=seed)
+    cluster.add_protocol(
+        AntiEntropyProtocol(config=AntiEntropyConfig(mode=ExchangeMode.PUSH_PULL))
+    )
+    gc = AckBasedCertificateGC()
+    cluster.add_protocol(gc)
+    return cluster, gc
+
+
+class TestHappyPath:
+    def test_certificate_discarded_once_everyone_holds_it(self):
+        cluster, gc = ack_cluster(seed=1)
+        cluster.inject_update(0, "x", "v")
+        cluster.run_until(cluster.converged, max_cycles=40)
+        cluster.inject_delete(0, "x")
+        cluster.run_until(
+            lambda: gc.certificates_held() == 0, max_cycles=100
+        )
+        # At least one site independently determined completion; the
+        # rest learned it by gossip.  Nobody holds the certificate and
+        # the metadata is fully reclaimed.
+        assert gc.stats.discarded >= 1
+        assert gc.metadata_size() == 0
+        assert all(cluster.sites[s].store.get("x") is None for s in cluster.site_ids)
+        assert all(
+            cluster.sites[s].store.entry("x") is None for s in cluster.site_ids
+        )
+
+    def test_not_discarded_before_full_coverage(self):
+        cluster, gc = ack_cluster(seed=2)
+        update = cluster.inject_delete(0, "x")
+        # Immediately after injection only site 0 holds it.
+        cluster.run_cycle()
+        remaining = gc.certificates_held()
+        assert remaining >= 1
+        # No site may discard while somebody's ack is missing.
+        missing = gc.is_blocked_on("x", update.timestamp)
+        if missing:
+            assert remaining > 0
+
+    def test_metadata_is_order_n_per_certificate(self):
+        cluster, gc = ack_cluster(n=10, seed=3)
+        cluster.inject_delete(0, "x")
+        peak = 0
+        for __ in range(10):
+            cluster.run_cycle()
+            peak = max(peak, gc.metadata_size())
+        # While the determination is in flight, up to 10 sites each
+        # track up to 10 holders: the O(n^2) structure the paper
+        # criticizes.
+        assert peak > 10
+        assert gc.stats.ack_entries_sent > 0
+
+
+class TestPaperCriticism:
+    def test_one_down_site_blocks_gc_forever(self):
+        """The paper's objection: a site down for 'hours or even days'
+        prevents the determination from completing."""
+        cluster, gc = ack_cluster(seed=4)
+        cluster.sites[11].up = False
+        cluster.inject_delete(0, "x")
+        cluster.run_cycles(40)
+        # The up sites all hold the certificate but cannot discard it.
+        assert gc.certificates_held() == 11
+        assert gc.stats.discarded == 0
+        assert 11 in gc.is_blocked_on("x", cluster.sites[0].store.entry("x").timestamp)
+        # When the site finally returns, GC completes.
+        cluster.sites[11].up = True
+        cluster.run_until(lambda: gc.certificates_held() == 0, max_cycles=100)
+
+    def test_certificates_pile_up_while_blocked(self):
+        cluster, gc = ack_cluster(seed=5)
+        cluster.sites[11].up = False
+        for i in range(8):
+            cluster.inject_update(i, f"k{i}", i)
+        cluster.run_until(
+            lambda: cluster.converged(cluster.up_site_ids()), max_cycles=60
+        )
+        for i in range(8):
+            cluster.inject_delete(i, f"k{i}")
+        cluster.run_cycles(30)
+        # 8 certificates x 11 up sites, none discardable.
+        assert gc.certificates_held() == 88
+        assert gc.stats.discarded == 0
+
+    def test_dormant_scheme_storage_stays_bounded_in_same_scenario(self):
+        """The contrast the paper draws: fixed-threshold + dormancy
+        keeps storage bounded even with a site down."""
+        from repro.protocols.deathcerts import (
+            CertificatePolicy,
+            DeathCertificateManager,
+        )
+
+        cluster = Cluster(n=12, seed=5)
+        cluster.add_protocol(
+            AntiEntropyProtocol(
+                config=AntiEntropyConfig(mode=ExchangeMode.PUSH_PULL)
+            )
+        )
+        manager = DeathCertificateManager(CertificatePolicy(tau1=8.0, tau2=500.0))
+        cluster.add_protocol(manager)
+        cluster.sites[11].up = False
+        for i in range(8):
+            cluster.inject_update(i, f"k{i}", i)
+        cluster.run_until(
+            lambda: cluster.converged(cluster.up_site_ids()), max_cycles=60
+        )
+        for i in range(8):
+            cluster.inject_delete(i, f"k{i}", retention_count=3)
+        cluster.run_cycles(30)
+        census = manager.certificate_census()
+        # Active certificates all expired; only dormant copies remain.
+        assert census["active"] == 0
+        assert census["dormant"] <= 8 * 3
+
+
+class TestMembership:
+    def test_membership_change_updates_requirement(self):
+        cluster, gc = ack_cluster(seed=6)
+        cluster.sites[11].up = False
+        cluster.inject_delete(0, "x")
+        cluster.run_cycles(20)
+        assert gc.stats.discarded == 0
+        # Removing the dead site from the replica set unblocks GC —
+        # exactly the site-removal protocol Sarin & Lynch require.
+        cluster.remove_site(11)
+        cluster.run_until(lambda: gc.certificates_held() == 0, max_cycles=60)

@@ -1,0 +1,146 @@
+"""The doubly-linked activity order (Section 1.5)."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.activity import ActivityOrder
+
+
+class TestBasics:
+    def test_empty(self):
+        order = ActivityOrder()
+        assert len(order) == 0
+        assert order.front() is None
+        assert list(order.keys_front_to_back()) == []
+
+    def test_touch_inserts_at_front(self):
+        order = ActivityOrder()
+        order.touch("a")
+        order.touch("b")
+        assert list(order.keys_front_to_back()) == ["b", "a"]
+        assert order.front() == "b"
+
+    def test_touch_moves_existing_to_front(self):
+        order = ActivityOrder()
+        for key in "abc":
+            order.touch(key)
+        order.touch("a")
+        assert list(order.keys_front_to_back()) == ["a", "c", "b"]
+        assert len(order) == 3
+
+    def test_touch_front_is_noop(self):
+        order = ActivityOrder()
+        order.touch("a")
+        order.touch("b")
+        order.touch("b")
+        assert list(order.keys_front_to_back()) == ["b", "a"]
+
+    def test_discard(self):
+        order = ActivityOrder()
+        for key in "abc":
+            order.touch(key)
+        order.discard("b")
+        assert list(order.keys_front_to_back()) == ["c", "a"]
+        assert "b" not in order
+
+    def test_discard_head_and_tail(self):
+        order = ActivityOrder()
+        for key in "abc":
+            order.touch(key)
+        order.discard("c")  # head
+        order.discard("a")  # tail
+        assert list(order.keys_front_to_back()) == ["b"]
+
+    def test_discard_missing_is_noop(self):
+        order = ActivityOrder()
+        order.discard("ghost")
+        assert len(order) == 0
+
+
+class TestDemote:
+    def test_demote_one_position(self):
+        order = ActivityOrder()
+        for key in "dcba":
+            order.touch(key)  # a b c d
+        order.demote("a")
+        assert list(order.keys_front_to_back()) == ["b", "a", "c", "d"]
+
+    def test_demote_many_positions(self):
+        order = ActivityOrder()
+        for key in "dcba":
+            order.touch(key)
+        order.demote("a", positions=2)
+        assert list(order.keys_front_to_back()) == ["b", "c", "a", "d"]
+
+    def test_demote_past_end_lands_at_tail(self):
+        order = ActivityOrder()
+        for key in "cba":
+            order.touch(key)
+        order.demote("a", positions=10)
+        assert list(order.keys_front_to_back()) == ["b", "c", "a"]
+
+    def test_demote_tail_is_noop(self):
+        order = ActivityOrder()
+        for key in "ba":
+            order.touch(key)
+        order.demote("b", positions=3)
+        assert list(order.keys_front_to_back()) == ["a", "b"]
+
+    def test_demote_missing_is_noop(self):
+        order = ActivityOrder()
+        order.touch("a")
+        order.demote("ghost")
+        assert list(order.keys_front_to_back()) == ["a"]
+
+
+class TestBatch:
+    def test_batch_windows(self):
+        order = ActivityOrder()
+        for key in [5, 4, 3, 2, 1]:
+            order.touch(key)  # 1 2 3 4 5
+        assert order.batch(0, 2) == [1, 2]
+        assert order.batch(2, 2) == [3, 4]
+        assert order.batch(4, 2) == [5]
+        assert order.batch(6, 2) == []
+
+    def test_position(self):
+        order = ActivityOrder()
+        for key in "cba":
+            order.touch(key)
+        assert order.position("a") == 0
+        assert order.position("c") == 2
+        assert order.position("ghost") is None
+
+
+class TestModelConformance:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["touch", "discard", "demote"]),
+                st.integers(0, 6),
+                st.integers(1, 4),
+            ),
+            max_size=100,
+        )
+    )
+    def test_against_list_model(self, operations):
+        order = ActivityOrder()
+        model: list = []
+        for op, key, amount in operations:
+            if op == "touch":
+                if key in model:
+                    model.remove(key)
+                model.insert(0, key)
+                order.touch(key)
+            elif op == "discard":
+                if key in model:
+                    model.remove(key)
+                order.discard(key)
+            else:
+                if key in model:
+                    index = model.index(key)
+                    target = min(index + amount, len(model) - 1)
+                    model.remove(key)
+                    model.insert(target, key)
+                order.demote(key, positions=amount)
+        assert list(order.keys_front_to_back()) == model
+        assert len(order) == len(model)

@@ -1,0 +1,143 @@
+"""Epidemic theory closed forms (Section 1.4) against paper values."""
+
+import math
+
+import pytest
+
+from repro.analysis.epidemic_theory import (
+    connection_count_probability,
+    connection_limited_push_lambda,
+    connection_limited_push_residue,
+    connection_limited_pull_residue,
+    i_of_s,
+    infective_trajectory,
+    pittel_push_cycles,
+    residue_from_traffic,
+    rumor_residue,
+    traffic_from_residue,
+)
+
+
+class TestRumorResidue:
+    def test_paper_values(self):
+        """'at k = 1 ... 20% will miss the rumor, while at k = 2 only 6%'."""
+        assert rumor_residue(1) == pytest.approx(0.2032, abs=0.002)
+        assert rumor_residue(2) == pytest.approx(0.0595, abs=0.002)
+
+    def test_residue_decreases_exponentially_in_k(self):
+        values = [rumor_residue(k) for k in range(1, 8)]
+        assert values == sorted(values, reverse=True)
+        # Successive ratios roughly constant (exponential decay).
+        ratios = [values[i + 1] / values[i] for i in range(len(values) - 1)]
+        assert all(r < 0.5 for r in ratios)
+
+    def test_residue_satisfies_fixed_point(self):
+        for k in (1, 2, 3, 5):
+            s = rumor_residue(k)
+            assert s == pytest.approx(math.exp(-(k + 1) * (1 - s)), rel=1e-6)
+
+    def test_residue_is_where_infectives_vanish(self):
+        for k in (1.0, 2.0, 4.0):
+            s = rumor_residue(k)
+            assert i_of_s(s, k) == pytest.approx(0.0, abs=1e-6)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            rumor_residue(0)
+
+
+class TestIOfS:
+    def test_boundary_conditions(self):
+        assert i_of_s(1.0, 2.0) == pytest.approx(0.0)
+
+    def test_peak_infection_positive(self):
+        assert i_of_s(0.5, 2.0) > 0
+
+    def test_domain_validated(self):
+        with pytest.raises(ValueError):
+            i_of_s(0.0, 1.0)
+        with pytest.raises(ValueError):
+            i_of_s(0.5, 0.0)
+
+
+class TestTrajectory:
+    def test_ends_near_fixed_point(self):
+        samples = infective_trajectory(k=2.0, n=10000)
+        final_s = samples[-1][1]
+        assert final_s == pytest.approx(rumor_residue(2.0), abs=0.02)
+
+    def test_susceptibles_monotonically_decrease(self):
+        samples = infective_trajectory(k=1.0, n=1000)
+        s_values = [s for __, s, __i in samples]
+        assert all(a >= b for a, b in zip(s_values, s_values[1:]))
+
+    def test_infection_rises_then_falls(self):
+        samples = infective_trajectory(k=2.0, n=1000)
+        i_values = [i for __, __s, i in samples]
+        peak = max(i_values)
+        assert peak > i_values[0]
+        assert i_values[-1] < peak / 10
+
+
+class TestTrafficLaws:
+    def test_residue_traffic_inverse_pair(self):
+        for m in (0.5, 1.7, 4.5):
+            assert traffic_from_residue(residue_from_traffic(m)) == pytest.approx(m)
+
+    def test_table1_consistency(self):
+        """Table 1's residue and traffic columns satisfy s = e^-m."""
+        for residue, m in [(0.18, 1.7), (0.037, 3.3), (0.011, 4.5)]:
+            assert residue_from_traffic(m) == pytest.approx(residue, rel=0.15)
+
+    def test_connection_limited_push_lambda(self):
+        assert connection_limited_push_lambda() == pytest.approx(1.582, abs=0.001)
+
+    def test_connection_limit_improves_push(self):
+        for m in (1.0, 3.0):
+            assert connection_limited_push_residue(m) < residue_from_traffic(m)
+
+    def test_pull_with_connection_failure(self):
+        delta = math.exp(-1)
+        assert connection_limited_pull_residue(2.0, delta) == pytest.approx(
+            math.exp(-2.0)
+        )
+        with pytest.raises(ValueError):
+            connection_limited_pull_residue(1.0, 1.5)
+
+
+class TestConnectionCounts:
+    def test_poisson_one(self):
+        assert connection_count_probability(0) == pytest.approx(math.exp(-1))
+        assert connection_count_probability(1) == pytest.approx(math.exp(-1))
+        assert connection_count_probability(3) == pytest.approx(math.exp(-1) / 6)
+
+    def test_distribution_sums_to_one(self):
+        total = sum(connection_count_probability(j) for j in range(30))
+        assert total == pytest.approx(1.0)
+
+    def test_matches_simulated_indegree(self):
+        import random
+        from collections import Counter
+
+        rng = random.Random(0)
+        n = 2000
+        indegree = Counter()
+        for s in range(n):
+            t = rng.randrange(n - 1)
+            indegree[t if t < s else t + 1] += 1
+        zero_fraction = sum(1 for s in range(n) if indegree[s] == 0) / n
+        assert zero_fraction == pytest.approx(math.exp(-1), abs=0.03)
+
+
+class TestPittel:
+    def test_formula(self):
+        assert pittel_push_cycles(1024) == pytest.approx(10 + math.log(1024))
+
+    def test_growth_is_logarithmic(self):
+        assert pittel_push_cycles(2048) - pittel_push_cycles(1024) == pytest.approx(
+            1 + math.log(2), abs=1e-9
+        )
+
+    def test_needs_two_sites(self):
+        with pytest.raises(ValueError):
+            pittel_push_cycles(1)

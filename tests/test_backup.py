@@ -1,0 +1,111 @@
+"""Anti-entropy backing up rumor mongering (Section 1.5)."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.protocols.backup import AntiEntropyBackup, RecoveryStrategy
+from repro.protocols.base import ExchangeMode
+from repro.protocols.rumor import RumorConfig
+
+
+def backup_cluster(n, recovery=RecoveryStrategy.HOT_RUMOR, k=1, period=3, seed=0):
+    cluster = Cluster(n=n, seed=seed)
+    protocol = AntiEntropyBackup(
+        rumor_config=RumorConfig(
+            mode=ExchangeMode.PUSH, feedback=True, counter=True, k=k
+        ),
+        anti_entropy_period=period,
+        recovery=recovery,
+    )
+    cluster.add_protocol(protocol)
+    return cluster, protocol
+
+
+class TestGuaranteedDelivery:
+    @pytest.mark.parametrize(
+        "recovery",
+        [
+            RecoveryStrategy.CONSERVATIVE,
+            RecoveryStrategy.HOT_RUMOR,
+            RecoveryStrategy.REDISTRIBUTE_MAIL,
+        ],
+    )
+    def test_every_strategy_reaches_all_sites(self, recovery):
+        """With k=1 the rumor alone would leave ~18% susceptible; the
+        anti-entropy backup must close the gap for every strategy."""
+        n = 150
+        cluster, protocol = backup_cluster(n, recovery=recovery, k=1)
+        cluster.inject_update(0, "k", "v", track=True)
+        cluster.run_until(lambda: cluster.metrics.infected == n, max_cycles=200)
+        assert cluster.metrics.complete
+
+    def test_composite_goes_quiescent_after_convergence(self):
+        cluster, protocol = backup_cluster(60)
+        cluster.inject_update(0, "k", "v", track=True)
+        cluster.run_until_quiescent(max_cycles=300)
+        assert cluster.converged()
+        assert not protocol.rumor.active
+
+
+class TestRecoveryBehavior:
+    def test_hot_rumor_recovery_reignites_rumor(self):
+        cluster, protocol = backup_cluster(100, recovery=RecoveryStrategy.HOT_RUMOR, k=1, seed=5)
+        cluster.inject_update(0, "k", "v", track=True)
+        # Let the k=1 rumor die out with some residue.
+        cluster.run_until(lambda: not protocol.rumor.active, max_cycles=60)
+        residue_after_rumor = cluster.metrics.residue
+        if residue_after_rumor == 0:
+            pytest.skip("rumor happened to cover everyone at this seed")
+        # Next anti-entropy round rediscovers it and makes it hot again.
+        cluster.run_until(
+            lambda: protocol.rumor.active or cluster.metrics.complete,
+            max_cycles=20,
+        )
+        assert protocol.redistributions > 0
+
+    def test_conservative_recovery_never_remakes_rumors(self):
+        cluster, protocol = backup_cluster(
+            100, recovery=RecoveryStrategy.CONSERVATIVE, k=1, seed=4
+        )
+        cluster.inject_update(0, "k", "v", track=True)
+        cluster.run_until(lambda: not protocol.rumor.active, max_cycles=60)
+        hot_before = protocol.rumor.infective_count()
+        cluster.run_cycles(6)  # a couple of anti-entropy rounds
+        assert protocol.rumor.infective_count() == hot_before == 0
+
+    def test_mail_recovery_uses_mail(self):
+        cluster, protocol = backup_cluster(
+            80, recovery=RecoveryStrategy.REDISTRIBUTE_MAIL, k=1, seed=4
+        )
+        cluster.inject_update(0, "k", "v", track=True)
+        cluster.run_until(lambda: cluster.metrics.complete, max_cycles=100)
+        assert protocol._mail is not None
+        assert protocol._mail.mail.stats.posted > 0
+
+    def test_mail_recovery_costs_far_more_than_hot_rumor(self):
+        from repro.experiments.backup_scenarios import recovery_cost_experiment
+
+        mail = recovery_cost_experiment(
+            n=80, strategy=RecoveryStrategy.REDISTRIBUTE_MAIL, seed=9
+        )
+        rumor = recovery_cost_experiment(
+            n=80, strategy=RecoveryStrategy.HOT_RUMOR, seed=9
+        )
+        assert mail.converged and rumor.converged
+        assert mail.mail_messages > 5 * rumor.update_sends
+
+
+class TestScheduling:
+    def test_anti_entropy_runs_on_its_period_only(self):
+        cluster, protocol = backup_cluster(30, period=4)
+        cluster.inject_update(0, "k", "v")
+        cluster.run_cycles(2)
+        assert protocol.anti_entropy.stats.exchanges == 0
+        cluster.run_cycles(2)  # cycle 3 == offset (period-1) fires
+        assert protocol.anti_entropy.stats.exchanges > 0
+
+    def test_rumor_runs_every_cycle(self):
+        cluster, protocol = backup_cluster(30, period=4)
+        cluster.inject_update(0, "k", "v")
+        cluster.run_cycle()
+        assert protocol.rumor.stats.conversations == 1

@@ -1,0 +1,134 @@
+"""Topology builders: regular graphs and the Figure 1/2 pathologies."""
+
+import pytest
+
+from repro.topology import builders
+
+
+class TestRegularTopologies:
+    def test_line(self):
+        topo = builders.line(5)
+        topo.validate()
+        assert topo.site_count == 5
+        assert topo.edge_count == 4
+        assert topo.distance(0, 4) == 4
+
+    def test_line_of_one(self):
+        assert builders.line(1).site_count == 1
+
+    def test_ring_wraps(self):
+        topo = builders.ring(6)
+        assert topo.distance(0, 5) == 1
+        assert topo.distance(0, 3) == 3
+
+    def test_ring_minimum_size(self):
+        with pytest.raises(ValueError):
+            builders.ring(2)
+
+    def test_grid_dimensions(self):
+        topo = builders.grid(3, 4)
+        topo.validate()
+        assert topo.site_count == 12
+        # Interior degree 4, corners 2: edges = 3*3 + 2*4 = 17
+        assert topo.edge_count == 17
+        assert topo.distance(0, 11) == (3 - 1) + (4 - 1)
+
+    def test_mesh_3d(self):
+        topo = builders.mesh([2, 2, 2])
+        topo.validate()
+        assert topo.site_count == 8
+        assert topo.edge_count == 12  # cube
+        assert topo.distance(0, 7) == 3
+
+    def test_mesh_rejects_empty(self):
+        with pytest.raises(ValueError):
+            builders.mesh([])
+
+    def test_star(self):
+        topo = builders.star(6)
+        assert topo.site_count == 7
+        assert topo.distance(1, 2) == 2
+
+    def test_complete_binary_tree(self):
+        topo = builders.complete_binary_tree(3)
+        topo.validate()
+        assert topo.site_count == 15
+        assert topo.distance(0, 14) == 3  # root to deepest leaf
+
+    def test_random_connected_is_connected(self):
+        for seed in range(5):
+            topo = builders.random_connected(30, extra_edges=10, seed=seed)
+            topo.validate()
+            assert topo.site_count == 30
+            assert topo.edge_count >= 29
+
+    def test_random_connected_deterministic(self):
+        a = builders.random_connected(20, 5, seed=3)
+        b = builders.random_connected(20, 5, seed=3)
+        assert a.edges == b.edges
+
+
+class TestFigure1:
+    def test_geometry(self):
+        topo, s, t, group = builders.figure1_topology(m=10, spur_length=3)
+        topo.validate()
+        assert topo.distance(s, t) == 1
+        # Every u_i is equidistant from s and from t, farther than d(s,t).
+        d_s = {topo.distance(s, u) for u in group}
+        d_t = {topo.distance(t, u) for u in group}
+        assert len(d_s) == 1 and d_s == d_t
+        assert d_s.pop() > topo.distance(s, t)
+
+    def test_group_members_are_sites_relays_are_not(self):
+        topo, s, t, group = builders.figure1_topology(m=4)
+        assert set(group) <= set(topo.sites)
+        assert topo.site_count == 2 + 4
+        assert topo.node_count > topo.site_count  # relays exist
+
+    def test_q_based_selection_prefers_the_pair(self):
+        """The defining property: under Q^-2, s picks t overwhelmingly."""
+        from repro.topology.distance import SiteDistances
+        from repro.topology.spatial import QPowerSelector
+
+        topo, s, t, group = builders.figure1_topology(m=20)
+        selector = QPowerSelector(SiteDistances(topo), a=2.0)
+        assert selector.probability(s, t) > 0.9
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            builders.figure1_topology(m=0)
+        with pytest.raises(ValueError):
+            builders.figure1_topology(m=3, spur_length=0)
+
+
+class TestFigure2:
+    def test_geometry(self):
+        topo, s, root = builders.figure2_topology(depth=3, spur_length=6)
+        topo.validate()
+        assert topo.distance(s, root) == 7
+        assert topo.distance(s, root) > 3  # exceeds tree height
+
+    def test_site_count(self):
+        topo, s, root = builders.figure2_topology(depth=3, spur_length=6)
+        assert topo.site_count == (2 ** 4 - 1) + 1
+
+    def test_rejects_short_spur(self):
+        with pytest.raises(ValueError):
+            builders.figure2_topology(depth=5, spur_length=3)
+
+
+class TestTwoClusters:
+    def test_bridge_is_labeled_and_critical(self):
+        topo, bridge = builders.two_clusters(10, 15, bridge_length=4)
+        topo.validate()
+        assert topo.labeled_edge("bridge") == bridge
+        assert topo.site_count == 25
+        # Every cross-cluster path uses the bridge link.
+        path = topo.path(topo.sites[0], topo.sites[-1])
+        edges = {tuple(sorted(e)) for e in zip(path, path[1:])}
+        assert bridge in edges
+
+    def test_bridge_length_one(self):
+        topo, bridge = builders.two_clusters(3, 3, bridge_length=1)
+        topo.validate()
+        assert topo.labeled_edge("bridge") == bridge

@@ -1,0 +1,106 @@
+"""Database checksums: order independence, incrementality (Section 1.3)."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.checksum import DatabaseChecksum, entry_digest
+
+
+class TestEntryDigest:
+    def test_deterministic(self):
+        assert entry_digest("k", b"abc") == entry_digest("k", b"abc")
+
+    def test_sensitive_to_key_and_content(self):
+        base = entry_digest("k", b"abc")
+        assert entry_digest("k2", b"abc") != base
+        assert entry_digest("k", b"abd") != base
+
+    def test_key_content_boundary_is_unambiguous(self):
+        # ("ab", "c...") must not collide with ("a", "bc...").
+        assert entry_digest("ab", b"c") != entry_digest("a", b"bc")
+
+    def test_digest_width(self):
+        assert 0 <= entry_digest("k", b"v") < 2 ** 128
+
+
+class TestDatabaseChecksum:
+    def test_empty_checksum_is_zero(self):
+        assert DatabaseChecksum().value == 0
+
+    def test_add_remove_round_trips(self):
+        checksum = DatabaseChecksum()
+        checksum.add("k", b"v")
+        checksum.remove("k", b"v")
+        assert checksum.value == 0
+
+    def test_order_independent(self):
+        entries = [("a", b"1"), ("b", b"2"), ("c", b"3")]
+        forward = DatabaseChecksum.of(entries)
+        backward = DatabaseChecksum.of(reversed(entries))
+        assert forward == backward
+
+    def test_replace_equals_remove_then_add(self):
+        a = DatabaseChecksum()
+        a.add("k", b"old")
+        a.replace("k", b"old", b"new")
+        b = DatabaseChecksum.of([("k", b"new")])
+        assert a == b
+
+    def test_replace_with_no_previous(self):
+        a = DatabaseChecksum()
+        a.replace("k", None, b"new")
+        assert a == DatabaseChecksum.of([("k", b"new")])
+
+    def test_different_contents_differ(self):
+        a = DatabaseChecksum.of([("k", b"1")])
+        b = DatabaseChecksum.of([("k", b"2")])
+        assert a != b
+
+    def test_comparison_with_int(self):
+        a = DatabaseChecksum.of([("k", b"1")])
+        assert a == a.value
+        assert not (a == a.value + 1)
+
+    def test_copy_is_independent(self):
+        a = DatabaseChecksum.of([("k", b"1")])
+        b = a.copy()
+        b.add("k2", b"2")
+        assert a != b
+
+
+class TestChecksumProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 50), st.binary(min_size=0, max_size=8)),
+            max_size=40,
+        )
+    )
+    def test_incremental_matches_batch(self, entries):
+        incremental = DatabaseChecksum()
+        for key, blob in entries:
+            incremental.add(key, blob)
+        assert incremental == DatabaseChecksum.of(entries)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 20), st.binary(min_size=0, max_size=4)),
+            max_size=30,
+        ),
+        st.randoms(use_true_random=False),
+    )
+    def test_shuffled_insertion_order_agrees(self, entries, rng):
+        shuffled = list(entries)
+        rng.shuffle(shuffled)
+        assert DatabaseChecksum.of(entries) == DatabaseChecksum.of(shuffled)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 20), st.binary(min_size=0, max_size=4)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_removing_everything_returns_to_zero(self, entries):
+        checksum = DatabaseChecksum.of(entries)
+        for key, blob in entries:
+            checksum.remove(key, blob)
+        assert checksum.value == 0

@@ -1,0 +1,86 @@
+"""The synthetic CIN topology (DESIGN.md substitution #1)."""
+
+import pytest
+
+from repro.topology.cin import CinParameters, build_cin_like_topology
+from repro.topology.distance import SiteDistances
+
+
+@pytest.fixture(scope="module")
+def cin():
+    return build_cin_like_topology()
+
+
+class TestShape:
+    def test_a_few_hundred_sites(self, cin):
+        assert 200 <= cin.site_count <= 400
+
+    def test_connected_and_valid(self, cin):
+        cin.topology.validate()
+
+    def test_europe_is_a_few_tens_of_sites(self, cin):
+        assert 20 <= len(cin.europe_sites) <= 50
+        assert len(cin.us_sites) > 4 * len(cin.europe_sites)
+
+    def test_region_partition_covers_all_sites(self, cin):
+        from itertools import chain
+
+        region_sites = list(chain.from_iterable(cin.regions.values()))
+        assert sorted(region_sites) == sorted(cin.sites)
+
+    def test_paths_traverse_many_gateways(self, cin):
+        distances = SiteDistances(cin.topology)
+        assert distances.diameter() >= 10  # "as many as 14 gateways"
+
+    def test_linear_chains_exist(self, cin):
+        chains = [r for name, r in cin.regions.items() if name.startswith("chain")]
+        assert chains
+        distances = SiteDistances(cin.topology)
+        for chain in chains:
+            assert distances.distance(chain[0], chain[-1]) == len(chain) - 1
+
+
+class TestTransatlanticLinks:
+    def test_bushey_labeled(self, cin):
+        assert cin.topology.labeled_edge("bushey") == cin.bushey
+        assert cin.bushey in cin.transatlantic
+
+    def test_transatlantic_links_are_the_only_routes_to_europe(self, cin):
+        """Every US<->Europe path crosses one of the two links."""
+        topo = cin.topology
+        transatlantic = {tuple(sorted(e)) for e in cin.transatlantic}
+        for eu_site in cin.europe_sites[:3]:
+            for us_site in cin.us_sites[:5]:
+                path = topo.path(us_site, eu_site)
+                edges = {tuple(sorted(e)) for e in zip(path, path[1:])}
+                assert edges & transatlantic
+
+    def test_expected_uniform_load_formula(self, cin):
+        """Sanity check of the paper's 2*n1*n2/(n1+n2) estimate: the
+        total expected transatlantic conversations per uniform cycle."""
+        n1 = len(cin.europe_sites)
+        n2 = len(cin.us_sites)
+        expected = 2 * n1 * n2 / (n1 + n2)
+        assert expected > 20  # a genuinely hot pair of links
+
+
+class TestDeterminism:
+    def test_same_seed_same_network(self):
+        a = build_cin_like_topology(CinParameters(seed=5))
+        b = build_cin_like_topology(CinParameters(seed=5))
+        assert a.topology.edges == b.topology.edges
+        assert a.sites == b.sites
+
+    def test_different_seed_different_network(self):
+        a = build_cin_like_topology(CinParameters(seed=5))
+        b = build_cin_like_topology(CinParameters(seed=6))
+        assert a.topology.edges != b.topology.edges
+
+    def test_parameters_scale_site_count(self):
+        small = build_cin_like_topology(
+            CinParameters(backbone_hubs=4, metro_ethernets=(2, 2),
+                          sites_per_ethernet=(3, 3), linear_chains=1,
+                          linear_chain_length=5, europe_ethernets=2)
+        )
+        assert small.site_count < 80
+        small.topology.validate()

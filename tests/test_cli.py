@@ -1,0 +1,93 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import COMMANDS, build_parser, main
+
+
+class TestParser:
+    def test_known_experiments(self):
+        parser = build_parser()
+        args = parser.parse_args(["table1"])
+        assert args.experiment == "table1"
+        assert args.runs == 10
+        assert args.n == 1000
+
+    def test_options(self):
+        args = build_parser().parse_args(["table4", "--runs", "3", "--n", "200"])
+        assert args.runs == 3
+        assert args.n == 200
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+
+
+class TestMain:
+    def test_invalid_runs(self, capsys):
+        assert main(["table1", "--runs", "0"]) == 2
+
+    def test_invalid_n(self, capsys):
+        assert main(["table1", "--n", "1"]) == 2
+
+    def test_table1_small(self, capsys):
+        assert main(["table1", "--runs", "1", "--n", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "paper" in out
+        assert "residue" in out
+
+    def test_deathcerts(self, capsys):
+        assert main(["deathcerts", "--runs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "naive delete" in out
+        assert "dormant certificates" in out
+
+    def test_backup(self, capsys):
+        assert main(["backup", "--runs", "1", "--n", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "redistribute-mail" in out
+
+    def test_tau(self, capsys):
+        assert main(["tau", "--runs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "checksum success" in out
+
+    def test_pathologies(self, capsys):
+        assert main(["pathologies", "--runs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "Figure 2" in out
+
+    def test_every_command_is_wired(self):
+        # Every command in the registry is reachable through the parser.
+        parser = build_parser()
+        for name in COMMANDS:
+            assert parser.parse_args([name]).experiment == name
+
+
+class TestRemainingCommands:
+    def test_table2_and_table3(self, capsys):
+        assert main(["table2", "--runs", "1", "--n", "100"]) == 0
+        assert main(["table3", "--runs", "1", "--n", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "blind+coin" in out
+        assert "pull" in out
+
+    def test_table4_and_table5(self, capsys):
+        assert main(["table4", "--runs", "1"]) == 0
+        assert main(["table5", "--runs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "no connection limit" in out
+        assert "connection limit 1" in out
+        assert "uniform" in out
+
+    def test_line(self, capsys):
+        assert main(["line", "--runs", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "d^-a on a line" in out
+
+    def test_hierarchy(self, capsys):
+        assert main(["hierarchy", "--runs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "hierarchy" in out

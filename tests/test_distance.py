@@ -1,0 +1,92 @@
+"""Site distances and Q_s(d) (Section 3)."""
+
+import pytest
+
+from repro.topology import builders
+from repro.topology.distance import SiteDistances
+from repro.topology.graph import Topology
+
+
+class TestSiteDistances:
+    def test_line_distances(self):
+        d = SiteDistances(builders.line(5))
+        assert d.distance(0, 4) == 4
+        assert d.distance(3, 1) == 2
+        assert d.site_count == 5
+
+    def test_ignores_non_site_nodes_in_q(self):
+        topo = Topology()
+        topo.add_node(0, site=True)
+        topo.add_node(1)  # relay, not a site
+        topo.add_node(2, site=True)
+        topo.add_edge(0, 1)
+        topo.add_edge(1, 2)
+        d = SiteDistances(topo)
+        assert d.q(0, 1) == 0   # the relay does not count
+        assert d.q(0, 2) == 1
+
+    def test_disconnected_sites_rejected(self):
+        topo = Topology()
+        topo.add_edge(0, 1)
+        topo.add_node(2, site=True)
+        topo.add_node(0, site=True)
+        with pytest.raises(ValueError):
+            SiteDistances(topo)
+
+
+class TestQFunction:
+    def test_q_on_line(self):
+        # On a line from site 2 of 0..4: Q(1)=2, Q(2)=4.
+        d = SiteDistances(builders.line(5))
+        assert d.q(2, 0) == 0
+        assert d.q(2, 1) == 2
+        assert d.q(2, 2) == 4
+        assert d.q(2, 99) == 4
+
+    def test_q_negative_distance(self):
+        d = SiteDistances(builders.line(3))
+        assert d.q(0, -1) == 0
+
+    def test_q_monotone_nondecreasing(self):
+        d = SiteDistances(builders.grid(4, 4))
+        for s in d.sites:
+            values = [d.q(s, dist) for dist in range(10)]
+            assert values == sorted(values)
+            assert values[-1] == d.site_count - 1
+
+    def test_q_growth_tracks_mesh_dimension(self):
+        """Q(d) ~ d on a line but ~ d^2 on a 2-D mesh (the local-
+        dimension adaptation the paper's distributions rely on)."""
+        line = SiteDistances(builders.line(101))
+        center_line = 50
+        mesh = SiteDistances(builders.grid(21, 21))
+        center_mesh = mesh.sites[10 * 21 + 10]
+        # Compare growth ratio Q(8)/Q(4): ~2 on the line, ~4 on the mesh.
+        line_ratio = line.q(center_line, 8) / line.q(center_line, 4)
+        mesh_ratio = mesh.q(center_mesh, 8) / mesh.q(center_mesh, 4)
+        assert line_ratio == pytest.approx(2.0, rel=0.05)
+        assert mesh_ratio == pytest.approx(4.0, rel=0.25)
+
+
+class TestSortedViews:
+    def test_others_by_distance_sorted(self):
+        d = SiteDistances(builders.line(6))
+        others, dists = d.others_by_distance(0)
+        assert dists == sorted(dists)
+        assert others == [1, 2, 3, 4, 5]
+
+    def test_histogram_sums_to_population(self):
+        d = SiteDistances(builders.grid(3, 3))
+        for s in d.sites:
+            histogram = d.distance_histogram(s)
+            assert sum(count for __, count in histogram) == 8
+
+    def test_eccentricity_and_diameter(self):
+        d = SiteDistances(builders.line(7))
+        assert d.eccentricity(0) == 6
+        assert d.eccentricity(3) == 3
+        assert d.diameter() == 6
+
+    def test_mean_distance_on_pair(self):
+        d = SiteDistances(builders.line(2))
+        assert d.mean_distance() == 1.0

@@ -1,0 +1,176 @@
+"""Anti-entropy exchange strategies (Section 1.3)."""
+
+import pytest
+
+from repro.protocols.base import ExchangeMode
+from repro.protocols.exchange import (
+    ChecksumWithRecent,
+    FullCompare,
+    PeelBack,
+    resolve_difference,
+    strategy_for,
+)
+
+from conftest import make_store
+
+
+def diverged_pair(common=5, a_only=3, b_only=2):
+    """Two stores sharing `common` keys plus private *recent* updates.
+
+    b's clock starts ahead of a's so both sites' private updates are
+    newer than the shared history (clocks in the paper approximate
+    real time, so recent divergence has recent timestamps).
+    """
+    a = make_store(0)
+    b = make_store(1, start=100.0)
+    for i in range(common):
+        update = a.update(f"common-{i}", i)
+        b.apply_entry(update.key, update.entry)
+    for i in range(a_only):
+        for __ in range(25):
+            a.clock.next_timestamp()  # move a's clock past the history
+        a.update(f"a-{i}", i)
+    for i in range(b_only):
+        b.update(f"b-{i}", i)
+    return a, b
+
+
+class TestResolveDifference:
+    def test_push_pull_converges(self):
+        a, b = diverged_pair()
+        report = resolve_difference(a, b, ExchangeMode.PUSH_PULL)
+        assert a.agrees_with(b)
+        assert len(report.sent_ab) == 3
+        assert len(report.sent_ba) == 2
+        assert report.changed
+
+    def test_push_only_updates_partner(self):
+        a, b = diverged_pair()
+        resolve_difference(a, b, ExchangeMode.PUSH)
+        assert b.get("a-0") == 0       # b learned a's updates
+        assert a.get("b-0") is None    # a learned nothing
+
+    def test_pull_only_updates_caller(self):
+        a, b = diverged_pair()
+        resolve_difference(a, b, ExchangeMode.PULL)
+        assert a.get("b-0") == 0
+        assert b.get("a-0") is None
+
+    def test_newer_timestamp_wins_per_key(self):
+        a = make_store(0)
+        b = make_store(1)
+        a.update("k", "old")
+        b.update("k", "newer")  # b's clock stamps later via sequence? No:
+        # both clocks start at 0; make b's entry strictly newer.
+        b.update("k", "newest")
+        resolve_difference(a, b, ExchangeMode.PUSH_PULL)
+        assert a.get("k") == b.get("k")
+
+    def test_no_differences_no_traffic(self):
+        a, b = diverged_pair(common=4, a_only=0, b_only=0)
+        report = resolve_difference(a, b, ExchangeMode.PUSH_PULL)
+        assert not report.changed
+        assert report.updates_shipped == 0
+
+    def test_death_certificates_spread(self):
+        a, b = diverged_pair(common=3, a_only=0, b_only=0)
+        a.delete("common-1")
+        resolve_difference(a, b, ExchangeMode.PUSH_PULL)
+        assert b.get("common-1") is None
+        assert a.agrees_with(b)
+
+    def test_certificate_reactivation_propagates(self):
+        a, b = diverged_pair(common=1, a_only=0, b_only=0)
+        update = a.delete("common-0")
+        b.apply_entry(update.key, update.entry)
+        # a reactivates its copy; push-pull must carry the new
+        # activation timestamp to b even though ordinary stamps match.
+        awakened = update.entry.reactivated(now=500.0)
+        a.apply_entry(update.key, awakened)
+        resolve_difference(a, b, ExchangeMode.PUSH_PULL)
+        assert b.entry("common-0").activation_timestamp.time == 500.0
+
+
+class TestChecksumWithRecent:
+    def test_recent_updates_avoid_full_compare(self):
+        a, b = diverged_pair(common=10, a_only=2, b_only=1)
+        strategy = ChecksumWithRecent(tau=1000.0)
+        report = strategy.exchange(a, b, ExchangeMode.PUSH_PULL)
+        assert a.agrees_with(b)
+        assert not report.full_compare
+        assert report.checksum_rounds == 1
+        # Only the recent lists were examined, not the whole database.
+        assert report.entries_examined <= 2 * (10 + 3)
+
+    def test_small_tau_forces_full_compare(self):
+        a, b = diverged_pair(common=5, a_only=2, b_only=0)
+        # Age the stores so nothing is "recent".
+        for __ in range(100):
+            a.clock.next_timestamp()
+            b.clock.next_timestamp()
+        strategy = ChecksumWithRecent(tau=1.0)
+        report = strategy.exchange(a, b, ExchangeMode.PUSH_PULL)
+        assert a.agrees_with(b)
+        assert report.full_compare   # the paper's tau-too-small failure
+
+    def test_agreeing_stores_cost_one_checksum_round(self):
+        a, b = diverged_pair(common=5, a_only=0, b_only=0)
+        strategy = ChecksumWithRecent(tau=1000.0)
+        report = strategy.exchange(a, b, ExchangeMode.PUSH_PULL)
+        assert report.checksum_rounds == 1
+        assert not report.changed or report.updates_shipped == 0
+
+    def test_tau_validated(self):
+        with pytest.raises(ValueError):
+            ChecksumWithRecent(tau=0.0)
+
+
+class TestPeelBack:
+    def test_converges_and_ships_only_differences(self):
+        a, b = diverged_pair(common=20, a_only=2, b_only=1)
+        strategy = PeelBack()
+        report = strategy.exchange(a, b, ExchangeMode.PUSH_PULL)
+        assert a.agrees_with(b)
+        assert len(report.sent_ab) == 2
+        assert len(report.sent_ba) == 1
+        # Peel back stops early: it must NOT walk all 23 entries twice.
+        assert report.entries_examined < 20
+
+    def test_identical_stores_stop_immediately(self):
+        a, b = diverged_pair(common=10, a_only=0, b_only=0)
+        report = PeelBack().exchange(a, b, ExchangeMode.PUSH_PULL)
+        assert report.entries_examined == 0
+        assert report.checksum_rounds == 1
+
+    def test_requires_push_pull(self):
+        a, b = diverged_pair()
+        with pytest.raises(ValueError):
+            PeelBack().exchange(a, b, ExchangeMode.PUSH)
+
+    def test_divergence_deep_in_history(self):
+        # The differing entry is the OLDEST one: peel back must walk all
+        # the way down and still converge.
+        a = make_store(0)
+        b = make_store(1)
+        a.update("old-only-a", "x")
+        for i in range(10):
+            update = a.update(f"shared-{i}", i)
+            b.apply_entry(update.key, update.entry)
+        report = PeelBack().exchange(a, b, ExchangeMode.PUSH_PULL)
+        assert a.agrees_with(b)
+        assert b.get("old-only-a") == "x"
+
+
+class TestStrategyFactory:
+    def test_known_strategies(self):
+        assert isinstance(strategy_for("full"), FullCompare)
+        assert isinstance(strategy_for("checksum", tau=5.0), ChecksumWithRecent)
+        assert isinstance(strategy_for("peelback"), PeelBack)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            strategy_for("bogus")
+
+    def test_describe(self):
+        assert strategy_for("full").describe() == "full-compare"
+        assert "tau=5" in strategy_for("checksum", tau=5.0).describe()

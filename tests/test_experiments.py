@@ -1,0 +1,230 @@
+"""Experiment drivers at reduced scale: every table/figure driver runs
+and its headline *shape* holds.
+
+The benchmarks regenerate the tables at full scale; these tests keep
+the drivers honest in CI-sized runs.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import format_table
+from repro.experiments.baselines import (
+    direct_mail_experiment,
+    push_epidemic_cycles,
+    remail_blowup_experiment,
+)
+from repro.experiments.pathologies import (
+    backup_fixes_pathology,
+    figure1_experiment,
+    figure1_pull_experiment,
+    figure2_experiment,
+    minimal_k_for_coverage,
+)
+from repro.experiments.spatial import (
+    line_scaling,
+    rumor_spatial_table,
+    spatial_table,
+)
+from repro.experiments.tables import table1, table2, table3
+from repro.sim.transport import ConnectionPolicy
+from repro.topology.cin import CinParameters, build_cin_like_topology
+
+
+@pytest.fixture(scope="module")
+def small_cin():
+    return build_cin_like_topology(
+        CinParameters(
+            backbone_hubs=5,
+            metro_ethernets=(2, 3),
+            sites_per_ethernet=(3, 5),
+            linear_chains=1,
+            linear_chain_length=6,
+            europe_ethernets=3,
+            europe_sites_per_ethernet=(3, 4),
+        )
+    )
+
+
+class TestTables123:
+    def test_table1_shape(self):
+        rows = table1(n=500, runs=2)
+        residues = [r.residue for r in rows]
+        traffics = [r.traffic for r in rows]
+        # Residue falls and traffic rises monotonically with k.
+        assert residues == sorted(residues, reverse=True)
+        assert traffics == sorted(traffics)
+        # k=1 lands near the paper's 18%.
+        assert rows[0].residue == pytest.approx(0.18, abs=0.1)
+        # s = e^-m holds within noise.
+        for row in rows[:3]:
+            if row.residue > 0:
+                assert row.residue == pytest.approx(
+                    math.exp(-row.traffic), rel=1.2
+                )
+
+    def test_table2_blind_coin_much_worse_at_small_k(self):
+        rows = table2(n=500, runs=2)
+        # k=1 blind/coin barely spreads (paper: 96% residue).
+        assert rows[0].residue > 0.7
+        # By k=5 it works decently.
+        assert rows[-1].residue < 0.1
+
+    def test_table3_pull_beats_push(self):
+        pull_rows = table3(n=500, runs=2)
+        push_rows = table1(n=500, runs=2)
+        for pull_row, push_row in zip(pull_rows, push_rows):
+            assert pull_row.residue <= push_row.residue + 0.01
+        # Pull k=2 is already near-complete.
+        assert pull_rows[1].residue < 0.01
+
+
+class TestSpatialTables:
+    def test_table4_shape(self, small_cin):
+        rows = spatial_table(cin=small_cin, runs=3, a_values=(1.2, 2.0))
+        uniform, a12, a20 = rows
+        assert uniform.label == "uniform"
+        # Spatial distributions slow convergence modestly...
+        assert a20.t_last < 4 * uniform.t_last
+        # ... but slash traffic on the transatlantic link and on average.
+        assert a20.compare_special < uniform.compare_special / 2
+        assert a20.compare_avg < uniform.compare_avg
+        # And every run completed (anti-entropy is a simple epidemic).
+        assert all(r.incomplete_runs == 0 for r in rows)
+
+    def test_table5_connection_limit_slows_but_completes(self, small_cin):
+        unlimited = spatial_table(cin=small_cin, runs=3, a_values=(2.0,))
+        limited = spatial_table(
+            cin=small_cin,
+            runs=3,
+            a_values=(2.0,),
+            policy=ConnectionPolicy(connection_limit=1, hunt_limit=0),
+        )
+        assert limited[1].t_last > unlimited[1].t_last
+        assert all(r.incomplete_runs == 0 for r in limited)
+        # Total comparison traffic (per-link-per-cycle x cycles) stays
+        # in the same ballpark: the limit spreads it over more cycles.
+        total_unlimited = unlimited[1].compare_avg * unlimited[1].t_last
+        total_limited = limited[1].compare_avg * limited[1].t_last
+        assert total_limited == pytest.approx(total_unlimited, rel=0.8)
+
+    def test_rumor_spatial_table_larger_k_covers(self, small_cin):
+        rows = rumor_spatial_table(cin=small_cin, runs=3, ks=(1, 6))
+        # k=6 should complete in every trial; k=1 typically not.
+        assert rows[-1].incomplete_runs == 0
+
+    def test_line_scaling_traffic_ordering(self):
+        rows = line_scaling(ns=(32,), a_values=(0.0, 2.0, 3.0), runs=2)
+        by_a = {row.a: row.mean_link_traffic for row in rows}
+        assert by_a[0.0] > by_a[2.0] > 0
+        assert by_a[2.0] >= by_a[3.0] * 0.5
+
+    def test_line_scaling_uniform_traffic_grows_with_n(self):
+        rows = line_scaling(ns=(16, 64), a_values=(0.0,), runs=2)
+        assert rows[1].mean_link_traffic > 2 * rows[0].mean_link_traffic
+
+
+class TestPathologyExperiments:
+    def test_figure1_push_fails_often(self):
+        result = figure1_experiment(m=20, k=2, trials=20)
+        assert result.failure_rate > 0.5
+        assert result.died_in_pair > 0
+
+    def test_figure1_pull_starves_the_pair(self):
+        result = figure1_pull_experiment(m=20, k=1, trials=20)
+        assert result.failures >= result.died_in_pair > 0
+
+    def test_figure2_lonely_site_missed(self):
+        result = figure2_experiment(depth=4, spur_length=7, k=2, trials=15)
+        assert result.missed_lonely > 0
+
+    def test_larger_k_reduces_failures(self):
+        low = figure1_experiment(m=20, k=1, trials=20)
+        high = figure1_experiment(m=20, k=8, trials=20)
+        assert high.failures <= low.failures
+
+    def test_minimal_k_search_finds_finite_k(self):
+        from repro.topology import builders
+        from repro.topology.distance import SiteDistances
+        from repro.topology.spatial import QPowerSelector
+        from repro.protocols.base import ExchangeMode
+
+        topo, s, t, group = builders.figure1_topology(m=8)
+        selector = QPowerSelector(SiteDistances(topo), a=2.0)
+        k = minimal_k_for_coverage(
+            topo, selector, ExchangeMode.PUSH_PULL, trials=5, k_max=30
+        )
+        assert k is not None
+
+    def test_backup_guarantees_coverage(self):
+        result = backup_fixes_pathology(m=20, k=1, trials=5)
+        assert result.failures == 0
+
+
+class TestBaselineExperiments:
+    def test_direct_mail_costs_n_messages(self):
+        result = direct_mail_experiment(n=100, loss_probability=0.0, runs=3)
+        assert result.messages_per_update == pytest.approx(99)
+        assert result.residue == 0.0
+
+    def test_direct_mail_loss_leaves_residue(self):
+        result = direct_mail_experiment(n=100, loss_probability=0.1, runs=3)
+        assert result.residue == pytest.approx(0.1, abs=0.07)
+
+    def test_push_matches_pittel(self):
+        result = push_epidemic_cycles(n=256, runs=3)
+        assert result.mean_cycles == pytest.approx(
+            result.pittel_prediction, rel=0.35
+        )
+
+    def test_remail_blowup_is_dramatic(self):
+        result = remail_blowup_experiment(n=40)
+        assert result.messages_without_remail == 0
+        # Many sites each remail the full membership: the cost is many
+        # multiples of a single n-message mailing.
+        assert result.messages_with_remail > 5 * (result.n - 1)
+
+
+class TestReportFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["k", "residue"], [(1, 0.18), (2, 0.037)], title="Demo"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "residue" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_values(self):
+        from repro.experiments.report import format_value
+
+        assert format_value(True) == "yes"
+        assert format_value(0.000001) == "1.00e-06"
+        assert format_value(float("nan")) == "-"
+        assert format_value(12) == "12"
+
+
+class TestSparkline:
+    def test_empty(self):
+        from repro.experiments.report import sparkline
+
+        assert sparkline([]) == ""
+
+    def test_scales_to_max(self):
+        from repro.experiments.report import sparkline
+
+        line = sparkline([0.0, 0.5, 1.0])
+        assert len(line) == 3
+        assert line[0] == " "
+        assert line[2] == "@"
+
+    def test_explicit_maximum(self):
+        from repro.experiments.report import sparkline
+
+        assert sparkline([1.0], maximum=2.0)[0] not in (" ", "@")
+
+    def test_all_zero(self):
+        from repro.experiments.report import sparkline
+
+        assert sparkline([0, 0, 0]) == "   "

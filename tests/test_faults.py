@@ -1,0 +1,168 @@
+"""Failure injection: schedules, partitions, churn."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.protocols.anti_entropy import AntiEntropyConfig, AntiEntropyProtocol
+from repro.protocols.base import ExchangeMode
+from repro.protocols.direct_mail import DirectMailProtocol
+from repro.sim.faults import FaultSchedule, RandomChurn
+
+
+def anti_entropy_cluster(n, seed=0):
+    cluster = Cluster(n=n, seed=seed)
+    schedule = FaultSchedule()
+    cluster.add_protocol(schedule)
+    cluster.add_protocol(
+        AntiEntropyProtocol(config=AntiEntropyConfig(mode=ExchangeMode.PUSH_PULL))
+    )
+    return cluster, schedule
+
+
+class TestPartitionPrimitive:
+    def test_partition_blocks_cross_group_talk(self):
+        cluster = Cluster(n=4, seed=0)
+        cluster.set_partition([[0, 1], [2, 3]])
+        assert cluster.can_communicate(0, 1)
+        assert cluster.can_communicate(2, 3)
+        assert not cluster.can_communicate(0, 2)
+        assert cluster.partitioned
+
+    def test_unlisted_sites_form_their_own_group(self):
+        cluster = Cluster(n=4, seed=0)
+        cluster.set_partition([[0, 1]])
+        assert cluster.can_communicate(2, 3)
+        assert not cluster.can_communicate(0, 2)
+
+    def test_clear_partition(self):
+        cluster = Cluster(n=4, seed=0)
+        cluster.set_partition([[0, 1], [2, 3]])
+        cluster.clear_partition()
+        assert cluster.can_communicate(0, 2)
+        assert not cluster.partitioned
+
+    def test_down_site_cannot_communicate(self):
+        cluster = Cluster(n=3, seed=0)
+        cluster.sites[1].up = False
+        assert not cluster.can_communicate(0, 1)
+        assert cluster.can_communicate(0, 2)
+
+    def test_overlapping_groups_rejected(self):
+        cluster = Cluster(n=4, seed=0)
+        with pytest.raises(ValueError):
+            cluster.set_partition([[0, 1], [1, 2]])
+
+    def test_unknown_site_rejected(self):
+        cluster = Cluster(n=3, seed=0)
+        with pytest.raises(ValueError):
+            cluster.set_partition([[0, 99]])
+
+
+class TestFaultSchedule:
+    def test_crash_and_recover(self):
+        cluster, schedule = anti_entropy_cluster(10)
+        schedule.crash(at_cycle=2, sites=[5]).recover(at_cycle=4, sites=[5])
+        cluster.run_cycle()
+        assert cluster.sites[5].up
+        cluster.run_cycle()
+        assert not cluster.sites[5].up
+        cluster.run_cycles(2)
+        assert cluster.sites[5].up
+        assert schedule.stats.crashes == 1
+        assert schedule.stats.recoveries == 1
+
+    def test_active_until_schedule_exhausted(self):
+        cluster, schedule = anti_entropy_cluster(5)
+        schedule.crash(at_cycle=3, sites=[1])
+        assert schedule.active
+        cluster.run_cycles(3)
+        assert not schedule.active
+
+    def test_crashed_site_misses_updates_then_catches_up(self):
+        cluster, schedule = anti_entropy_cluster(20, seed=2)
+        schedule.crash(at_cycle=1, sites=[19]).recover(at_cycle=12, sites=[19])
+        cluster.inject_update(0, "k", "v", track=True)
+        cluster.run_cycles(10)
+        assert cluster.sites[19].store.get("k") is None
+        cluster.run_until(lambda: cluster.metrics.infected == 20, max_cycles=50)
+        assert cluster.sites[19].store.get("k") == "v"
+
+    def test_partition_heals_and_replicas_reconverge(self):
+        cluster, schedule = anti_entropy_cluster(12, seed=3)
+        schedule.partition(at_cycle=1, groups=[list(range(6)), list(range(6, 12))])
+        schedule.heal(at_cycle=15)
+        # One update per side of the partition.
+        cluster.inject_update(0, "west", "w")
+        cluster.inject_update(6, "east", "e")
+        cluster.run_cycles(12)
+        # Each side converged internally, neither crossed.
+        assert cluster.sites[5].store.get("west") == "w"
+        assert cluster.sites[5].store.get("east") is None
+        assert cluster.sites[11].store.get("east") == "e"
+        assert cluster.sites[11].store.get("west") is None
+        cluster.run_until(cluster.converged, max_cycles=60)
+        assert cluster.sites[11].store.get("west") == "w"
+        assert cluster.sites[0].store.get("east") == "e"
+
+    def test_mail_cut_by_partition_repaired_by_anti_entropy(self):
+        cluster = Cluster(n=10, seed=4)
+        schedule = FaultSchedule()
+        schedule.partition(at_cycle=1, groups=[[0, 1, 2, 3, 4], [5, 6, 7, 8, 9]])
+        schedule.heal(at_cycle=6)
+        cluster.add_protocol(schedule)
+        mail = DirectMailProtocol()
+        cluster.add_protocol(mail)
+        cluster.add_protocol(
+            AntiEntropyProtocol(config=AntiEntropyConfig(mode=ExchangeMode.PUSH_PULL))
+        )
+        cluster.run_cycle()  # partition up BEFORE the mail is sent
+        cluster.inject_update(0, "k", "v", track=True)
+        cluster.run_cycles(3)
+        # Mail crossed only inside the partition.
+        assert all(
+            cluster.sites[s].store.get("k") is None for s in range(5, 10)
+        )
+        cluster.run_until(lambda: cluster.metrics.infected == 10, max_cycles=60)
+
+    def test_cycle_zero_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSchedule().crash(at_cycle=0, sites=[1])
+
+
+class TestRandomChurn:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            RandomChurn(crash_rate=1.5)
+        with pytest.raises(ValueError):
+            RandomChurn(min_up_fraction=0.0)
+
+    def test_churn_crashes_and_recovers(self):
+        cluster = Cluster(n=50, seed=5)
+        churn = RandomChurn(crash_rate=0.1, recovery_rate=0.3)
+        cluster.add_protocol(churn)
+        cluster.run_cycles(30)
+        assert churn.stats.crashes > 0
+        assert churn.stats.recoveries > 0
+
+    def test_min_up_fraction_respected(self):
+        cluster = Cluster(n=20, seed=6)
+        churn = RandomChurn(crash_rate=0.9, recovery_rate=0.0, min_up_fraction=0.5)
+        cluster.add_protocol(churn)
+        cluster.run_cycles(20)
+        assert len(cluster.up_site_ids()) >= 10
+
+    def test_epidemic_completes_under_churn(self):
+        """Anti-entropy delivers everywhere despite sustained churn,
+        once the churn ends and everyone is back up."""
+        cluster = Cluster(n=60, seed=7)
+        churn = RandomChurn(crash_rate=0.05, recovery_rate=0.3)
+        cluster.add_protocol(churn)
+        cluster.add_protocol(
+            AntiEntropyProtocol(config=AntiEntropyConfig(mode=ExchangeMode.PUSH_PULL))
+        )
+        cluster.inject_update(0, "k", "v", track=True)
+        cluster.run_cycles(30)
+        churn.restore_all()
+        churn.crash_rate = 0.0
+        cluster.run_until(lambda: cluster.metrics.infected == 60, max_cycles=60)
+        assert cluster.metrics.complete

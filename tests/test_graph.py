@@ -1,0 +1,155 @@
+"""Topology graphs: construction, distances, deterministic routing."""
+
+import pytest
+
+from repro.topology.graph import Topology, complete_topology, sites_only
+
+
+class TestConstruction:
+    def test_add_nodes_and_sites(self):
+        topo = Topology()
+        topo.add_node(0, site=True)
+        topo.add_node(1)
+        assert topo.sites == [0]
+        assert topo.node_count == 2
+        assert topo.is_site(0)
+        assert not topo.is_site(1)
+
+    def test_new_node_allocates_fresh_ids(self):
+        topo = Topology()
+        assert topo.new_node() == 0
+        assert topo.new_node(site=True) == 1
+        assert topo.sites == [1]
+
+    def test_add_edge_creates_nodes(self):
+        topo = Topology()
+        topo.add_edge(0, 1)
+        assert topo.node_count == 2
+        assert topo.edge_count == 1
+
+    def test_duplicate_edges_collapse(self):
+        topo = Topology()
+        topo.add_edge(0, 1)
+        topo.add_edge(1, 0)
+        assert topo.edge_count == 1
+        assert list(topo.neighbors(0)) == [1]
+
+    def test_self_loop_rejected(self):
+        topo = Topology()
+        with pytest.raises(ValueError):
+            topo.add_edge(3, 3)
+
+    def test_labels(self):
+        topo = Topology()
+        topo.add_edge(0, 1, label="bushey")
+        assert topo.labeled_edge("bushey") == (0, 1)
+        assert topo.labels == {"bushey": (0, 1)}
+        with pytest.raises(KeyError):
+            topo.labeled_edge("missing")
+
+
+class TestDistances:
+    def _chain(self, n):
+        topo = Topology()
+        for i in range(n):
+            topo.add_node(i, site=True)
+        for i in range(n - 1):
+            topo.add_edge(i, i + 1)
+        return topo
+
+    def test_chain_distances(self):
+        topo = self._chain(5)
+        assert topo.distance(0, 4) == 4
+        assert topo.distance(2, 2) == 0
+
+    def test_disconnected_distance_raises(self):
+        topo = Topology()
+        topo.add_node(0, site=True)
+        topo.add_node(1, site=True)
+        with pytest.raises(ValueError):
+            topo.distance(0, 1)
+
+    def test_distances_through_non_site_nodes(self):
+        topo = Topology()
+        topo.add_node(0, site=True)
+        topo.add_node(1)            # relay
+        topo.add_node(2, site=True)
+        topo.add_edge(0, 1)
+        topo.add_edge(1, 2)
+        assert topo.distance(0, 2) == 2
+
+    def test_cache_invalidated_on_mutation(self):
+        topo = self._chain(4)
+        assert topo.distance(0, 3) == 3
+        topo.add_edge(0, 3)
+        assert topo.distance(0, 3) == 1
+
+
+class TestRouting:
+    def test_path_endpoints_and_length(self):
+        topo = complete_topology(4)
+        path = topo.path(0, 3)
+        assert path[0] == 0 and path[-1] == 3
+        assert len(path) == 2
+
+    def test_path_to_self(self):
+        topo = complete_topology(3)
+        assert topo.path(1, 1) == [1]
+
+    def test_path_is_shortest(self):
+        topo = Topology()
+        # A square with one diagonal: 0-1-2, 0-3-2, 0-2 direct.
+        topo.add_edge(0, 1)
+        topo.add_edge(1, 2)
+        topo.add_edge(0, 3)
+        topo.add_edge(3, 2)
+        topo.add_edge(0, 2)
+        assert topo.path(0, 2) == [0, 2]
+
+    def test_routing_is_deterministic_across_equal_paths(self):
+        topo = Topology()
+        # Two equal-length routes 0-1-3 and 0-2-3.
+        topo.add_edge(0, 1)
+        topo.add_edge(0, 2)
+        topo.add_edge(1, 3)
+        topo.add_edge(2, 3)
+        first = topo.path(0, 3)
+        for __ in range(5):
+            assert topo.path(0, 3) == first
+        # Tie-break toward the smaller node id.
+        assert first == [0, 1, 3]
+
+    def test_path_between_disconnected_raises(self):
+        topo = Topology()
+        topo.add_node(0)
+        topo.add_node(1)
+        with pytest.raises(ValueError):
+            topo.path(0, 1)
+
+
+class TestValidation:
+    def test_sites_only_is_valid(self):
+        sites_only(5).validate()
+
+    def test_no_sites_invalid(self):
+        topo = Topology()
+        topo.add_node(0)
+        with pytest.raises(ValueError):
+            topo.validate()
+
+    def test_disconnected_with_edges_invalid(self):
+        topo = Topology()
+        topo.add_edge(0, 1)
+        topo.add_node(2, site=True)
+        with pytest.raises(ValueError):
+            topo.validate()
+
+    def test_complete_topology_all_pairs_one_hop(self):
+        topo = complete_topology(5)
+        topo.validate()
+        assert all(
+            topo.distance(i, j) == 1
+            for i in range(5)
+            for j in range(5)
+            if i != j
+        )

@@ -1,0 +1,134 @@
+"""The Section 4 dynamic-hierarchy extension."""
+
+import random
+
+import pytest
+
+from repro.topology import builders
+from repro.topology.cin import build_cin_like_topology
+from repro.topology.distance import SiteDistances
+from repro.topology.hierarchy import HierarchicalSelector, elect_backbone
+
+
+@pytest.fixture(scope="module")
+def line_distances():
+    return SiteDistances(builders.line(30))
+
+
+class TestBackboneElection:
+    def test_count_respected(self, line_distances):
+        assert len(elect_backbone(line_distances, 5)) == 5
+
+    def test_deterministic(self, line_distances):
+        assert elect_backbone(line_distances, 5) == elect_backbone(line_distances, 5)
+
+    def test_backbone_spreads_across_the_network(self, line_distances):
+        """Farthest-point election on a 30-site line: consecutive
+        backbone sites are far apart."""
+        backbone = elect_backbone(line_distances, 4)
+        gaps = [b - a for a, b in zip(backbone, backbone[1:])]
+        assert min(gaps) >= 5
+
+    def test_count_at_least_population_returns_everyone(self, line_distances):
+        assert elect_backbone(line_distances, 100) == line_distances.sites
+
+    def test_count_validated(self, line_distances):
+        with pytest.raises(ValueError):
+            elect_backbone(line_distances, 0)
+
+    def test_covers_cin_regions(self):
+        """On the synthetic CIN, a modest backbone lands members both
+        sides of the Atlantic."""
+        cin = build_cin_like_topology()
+        distances = SiteDistances(cin.topology)
+        backbone = elect_backbone(distances, 12)
+        assert set(backbone) & set(cin.europe_sites)
+        assert set(backbone) & set(cin.us_sites)
+
+
+class TestHierarchicalSelector:
+    def test_requires_exactly_one_spec(self, line_distances):
+        with pytest.raises(ValueError):
+            HierarchicalSelector(line_distances)
+        with pytest.raises(ValueError):
+            HierarchicalSelector(
+                line_distances, backbone=[0, 29], backbone_count=2
+            )
+
+    def test_unknown_backbone_site_rejected(self, line_distances):
+        with pytest.raises(ValueError):
+            HierarchicalSelector(line_distances, backbone=[0, 999])
+
+    def test_leaf_sites_choose_locally(self, line_distances):
+        selector = HierarchicalSelector(
+            line_distances, backbone=[0, 29], long_range_probability=1.0
+        )
+        rng = random.Random(0)
+        leaf = 15
+        assert not selector.is_backbone(leaf)
+        # A leaf's partner distribution is the local one: distant
+        # partners are rare even with p_long = 1.
+        draws = [selector.choose(leaf, rng) for __ in range(300)]
+        near = sum(1 for d in draws if abs(d - leaf) <= 3)
+        assert near > len(draws) * 0.5
+
+    def test_backbone_sites_reach_far(self, line_distances):
+        selector = HierarchicalSelector(
+            line_distances, backbone=[0, 29], long_range_probability=1.0
+        )
+        rng = random.Random(0)
+        draws = [selector.choose(0, rng) for __ in range(100)]
+        assert all(d == 29 for d in draws)  # the only backbone peer
+
+    def test_probabilities_sum_to_one(self, line_distances):
+        selector = HierarchicalSelector(
+            line_distances, backbone_count=4, long_range_probability=0.5
+        )
+        for site in (0, 7, 15):
+            total = sum(
+                selector.probability(site, other)
+                for other in line_distances.sites
+                if other != site
+            )
+            assert total == pytest.approx(1.0)
+
+    def test_empirical_matches_probabilities(self, line_distances):
+        selector = HierarchicalSelector(
+            line_distances, backbone_count=4, long_range_probability=0.6
+        )
+        backbone_site = selector.backbone[0]
+        rng = random.Random(2)
+        draws = 4000
+        from collections import Counter
+
+        counts = Counter(selector.choose(backbone_site, rng) for __ in range(draws))
+        for partner in selector.backbone[1:3]:
+            expected = selector.probability(backbone_site, partner)
+            assert counts[partner] / draws == pytest.approx(expected, abs=0.03)
+
+    def test_describe(self, line_distances):
+        selector = HierarchicalSelector(line_distances, backbone_count=3)
+        assert "backbone=3" in selector.describe()
+
+
+class TestHierarchyEndToEnd:
+    def test_epidemic_completes_with_hierarchy(self):
+        from repro.cluster.cluster import Cluster
+        from repro.protocols.anti_entropy import AntiEntropyConfig, AntiEntropyProtocol
+        from repro.protocols.base import ExchangeMode
+
+        cin = build_cin_like_topology()
+        distances = SiteDistances(cin.topology)
+        selector = HierarchicalSelector(distances, backbone_count=12)
+        cluster = Cluster(topology=cin.topology, seed=8)
+        cluster.add_protocol(
+            AntiEntropyProtocol(
+                selector=selector,
+                config=AntiEntropyConfig(mode=ExchangeMode.PUSH_PULL),
+            )
+        )
+        cluster.inject_update(cin.sites[0], "k", "v", track=True)
+        cluster.run_until(
+            lambda: cluster.metrics.infected == cluster.n, max_cycles=100
+        )
+        assert cluster.metrics.complete

@@ -1,0 +1,138 @@
+"""Entries: versioned values, NIL, death certificates (Sections 1.1, 2)."""
+
+import pickle
+
+import pytest
+
+from repro.core.items import (
+    NIL,
+    DeathCertificate,
+    VersionedValue,
+    make_entry,
+    newer,
+    validate_key,
+)
+from repro.core.timestamps import Timestamp
+
+
+def ts(t: float, site: int = 0, seq: int = 0) -> Timestamp:
+    return Timestamp(t, site, seq)
+
+
+class TestNil:
+    def test_is_singleton(self):
+        from repro.core.items import _Nil
+
+        assert _Nil() is NIL
+
+    def test_survives_pickling_as_singleton(self):
+        assert pickle.loads(pickle.dumps(NIL)) is NIL
+
+    def test_repr(self):
+        assert repr(NIL) == "NIL"
+
+
+class TestVersionedValue:
+    def test_not_a_deletion(self):
+        assert not VersionedValue("v", ts(1)).is_deletion
+
+    def test_supersedes_by_timestamp(self):
+        old = VersionedValue("a", ts(1))
+        new = VersionedValue("b", ts(2))
+        assert new.supersedes(old)
+        assert not old.supersedes(new)
+
+    def test_supersedes_nothing_present(self):
+        assert VersionedValue("a", ts(1)).supersedes(None)
+
+    def test_encoding_distinguishes_values_and_stamps(self):
+        a = VersionedValue("x", ts(1)).encode()
+        b = VersionedValue("y", ts(1)).encode()
+        c = VersionedValue("x", ts(2)).encode()
+        assert len({a, b, c}) == 3
+
+
+class TestDeathCertificate:
+    def test_value_is_nil(self):
+        cert = DeathCertificate(ts(1), ts(1))
+        assert cert.value is NIL
+        assert cert.is_deletion
+
+    def test_activation_cannot_precede_ordinary(self):
+        with pytest.raises(ValueError):
+            DeathCertificate(timestamp=ts(5), activation_timestamp=ts(4))
+
+    def test_cancels_older_value(self):
+        cert = DeathCertificate(ts(2), ts(2))
+        assert cert.supersedes(VersionedValue("old", ts(1)))
+
+    def test_does_not_cancel_newer_value(self):
+        cert = DeathCertificate(ts(2), ts(2))
+        assert not cert.supersedes(VersionedValue("reinstated", ts(3)))
+
+    def test_reactivation_preserves_ordinary_timestamp(self):
+        cert = DeathCertificate(ts(2.0), ts(2.0), retention_sites=(1, 2))
+        awakened = cert.reactivated(now=50.0)
+        assert awakened.timestamp == cert.timestamp
+        assert awakened.activation_timestamp.time == 50.0
+        assert awakened.retention_sites == (1, 2)
+
+    def test_reactivated_certificate_still_spares_reinstatement(self):
+        # The Section 2.2 correctness property: an update between the
+        # original and revised timestamps must not be cancelled.
+        cert = DeathCertificate(ts(2.0), ts(2.0))
+        reinstated = VersionedValue("back", ts(10.0))
+        awakened = cert.reactivated(now=50.0)
+        assert not awakened.supersedes(reinstated)
+
+    def test_expiry_thresholds(self):
+        cert = DeathCertificate(ts(0.0), ts(0.0))
+        assert not cert.is_expired(now=10.0, tau1=10.0)
+        assert cert.is_expired(now=10.1, tau1=10.0)
+        assert not cert.is_discardable(now=30.0, tau1=10.0, tau2=20.0)
+        assert cert.is_discardable(now=30.1, tau1=10.0, tau2=20.0)
+
+    def test_expiry_follows_activation_not_ordinary_timestamp(self):
+        cert = DeathCertificate(ts(0.0), ts(0.0)).reactivated(now=100.0)
+        assert not cert.is_expired(now=105.0, tau1=10.0)
+
+    def test_encoding_ignores_activation_timestamp(self):
+        # Replicas differing only in activation state must still agree
+        # on checksums.
+        cert = DeathCertificate(ts(1.0), ts(1.0))
+        awakened = cert.reactivated(now=9.0)
+        assert cert.encode() == awakened.encode()
+
+
+class TestHelpers:
+    def test_make_entry_builds_value(self):
+        entry = make_entry("v", ts(1))
+        assert isinstance(entry, VersionedValue)
+
+    def test_make_entry_builds_certificate_for_nil(self):
+        entry = make_entry(NIL, ts(1))
+        assert isinstance(entry, DeathCertificate)
+        assert entry.activation_timestamp == entry.timestamp
+
+    def test_make_entry_builds_certificate_for_none(self):
+        assert make_entry(None, ts(1)).is_deletion
+
+    def test_newer_picks_larger_timestamp(self):
+        a = VersionedValue("a", ts(1))
+        b = VersionedValue("b", ts(2))
+        assert newer(a, b) is b
+        assert newer(b, a) is b
+        assert newer(a, None) is a
+        assert newer(None, None) is None
+
+    def test_validate_key_rejects_none(self):
+        with pytest.raises(ValueError):
+            validate_key(None)
+
+    def test_validate_key_rejects_unhashable(self):
+        with pytest.raises(TypeError):
+            validate_key(["list", "key"])
+
+    def test_validate_key_accepts_tuples_and_strings(self):
+        assert validate_key(("a", 1)) == ("a", 1)
+        assert validate_key("name") == "name"

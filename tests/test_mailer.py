@@ -1,0 +1,108 @@
+"""The unreliable queued mail service (Section 1.2)."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.mailer import MailSystem, Mailbox
+from repro.sim.rng import RngRegistry
+
+
+def make_mail(loss=0.0, capacity=None, latency=1.0, seed=0):
+    sim = Simulator()
+    mail = MailSystem(
+        sim, RngRegistry(seed), loss_probability=loss,
+        mailbox_capacity=capacity, latency=latency,
+    )
+    return sim, mail
+
+
+class TestDelivery:
+    def test_letter_arrives_after_latency(self):
+        sim, mail = make_mail(latency=2.0)
+        mail.post(0, 1, "hello")
+        sim.run(until=1.0)
+        assert len(mail.mailbox(1)) == 0
+        sim.run(until=2.0)
+        letters = mail.receive(1)
+        assert len(letters) == 1
+        assert letters[0].payload == "hello"
+        assert letters[0].source == 0
+        assert letters[0].posted_at == 0.0
+
+    def test_receive_drains_mailbox(self):
+        sim, mail = make_mail()
+        mail.post(0, 1, "a")
+        mail.post(0, 1, "b")
+        sim.run()
+        assert [l.payload for l in mail.receive(1)] == ["a", "b"]
+        assert mail.receive(1) == []
+
+    def test_delivery_callback(self):
+        sim, mail = make_mail()
+        seen = []
+        mail.on_delivery(lambda letter: seen.append(letter.payload))
+        mail.post(0, 1, "x")
+        sim.run()
+        assert seen == ["x"]
+
+    def test_stats_track_posted_and_delivered(self):
+        sim, mail = make_mail()
+        for i in range(5):
+            mail.post(0, i, i)
+        sim.run()
+        assert mail.stats.posted == 5
+        assert mail.stats.delivered == 5
+        assert mail.stats.delivery_ratio == 1.0
+
+
+class TestFailureModes:
+    def test_loss_probability_drops_messages(self):
+        sim, mail = make_mail(loss=0.5, seed=3)
+        for i in range(200):
+            mail.post(0, 1, i)
+        sim.run()
+        assert 0 < mail.stats.dropped_loss < 200
+        assert mail.stats.delivered + mail.stats.dropped_loss == 200
+        # Roughly half lost (binomial, wide tolerance).
+        assert 60 <= mail.stats.dropped_loss <= 140
+
+    def test_overflow_drops_when_mailbox_full(self):
+        sim, mail = make_mail(capacity=3)
+        for i in range(5):
+            mail.post(0, 1, i)
+        sim.run()
+        assert mail.stats.dropped_overflow == 2
+        assert len(mail.mailbox(1)) == 3
+
+    def test_draining_restores_capacity(self):
+        sim, mail = make_mail(capacity=1)
+        mail.post(0, 1, "first")
+        sim.run()
+        mail.receive(1)
+        mail.post(0, 1, "second")
+        sim.run()
+        assert [l.payload for l in mail.receive(1)] == ["second"]
+
+    def test_loss_probability_validated(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            MailSystem(sim, RngRegistry(0), loss_probability=1.5)
+
+    def test_negative_latency_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            MailSystem(sim, RngRegistry(0), latency=-1.0)
+
+
+class TestMailbox:
+    def test_unbounded_by_default(self):
+        box = Mailbox()
+        assert not box.full
+
+    def test_full_at_capacity(self):
+        box = Mailbox(capacity=1)
+        from repro.sim.mailer import Letter
+
+        assert box.push(Letter(0, 1, "a", 0.0))
+        assert box.full
+        assert not box.push(Letter(0, 1, "b", 0.0))

@@ -1,0 +1,169 @@
+"""Exact Markov analysis of simple epidemics, validated three ways:
+against hand computation, against the asymptotic formulas, and against
+the stochastic simulation."""
+
+import math
+
+import pytest
+
+from repro.analysis.markov import (
+    completion_probability_after,
+    expected_cycles_to_complete,
+    expected_infected_after,
+    pull_new_infections,
+    push_new_infections,
+    push_pull_new_infections,
+    state_distribution_after,
+)
+
+
+class TestTransitionLaws:
+    def test_push_two_sites(self):
+        # One infected of two: its single contact must hit the other.
+        assert push_new_infections(2, 1) == pytest.approx([0.0, 1.0])
+
+    def test_push_hand_computed_three_sites(self):
+        # n=3, i=1: one throw over two partners, one susceptible... both
+        # others are susceptible, so the throw always infects someone.
+        assert push_new_infections(3, 1) == pytest.approx([0.0, 1.0, 0.0])
+        # n=3, i=2: two throws; each hits the lone susceptible w.p. 1/2.
+        # P(no hit) = 1/4, P(hit) = 3/4.
+        assert push_new_infections(3, 2) == pytest.approx([0.25, 0.75])
+
+    def test_pull_hand_computed(self):
+        # n=3, i=1: each of 2 susceptibles pulls the infected w.p. 1/2.
+        assert pull_new_infections(3, 1) == pytest.approx([0.25, 0.5, 0.25])
+
+    def test_laws_are_distributions(self):
+        for law in (push_new_infections, pull_new_infections,
+                    push_pull_new_infections):
+            for n, i in [(5, 1), (10, 4), (20, 19)]:
+                distribution = law(n, i)
+                assert sum(distribution) == pytest.approx(1.0)
+                assert all(p >= -1e-15 for p in distribution)
+
+    def test_push_pull_dominates_both(self):
+        """Push-pull infects at least as many in expectation."""
+        n, i = 12, 4
+
+        def mean(dist):
+            return sum(k * p for k, p in enumerate(dist))
+
+        push = mean(push_new_infections(n, i))
+        pull = mean(pull_new_infections(n, i))
+        both = mean(push_pull_new_infections(n, i))
+        assert both > push
+        assert both > pull
+
+    def test_state_validation(self):
+        with pytest.raises(ValueError):
+            push_new_infections(1, 1)
+        with pytest.raises(ValueError):
+            pull_new_infections(5, 0)
+        with pytest.raises(ValueError):
+            push_pull_new_infections(5, 6)
+
+
+class TestAbsorptionTimes:
+    def test_two_sites_takes_one_cycle(self):
+        assert expected_cycles_to_complete(2, "push") == pytest.approx(1.0)
+        assert expected_cycles_to_complete(2, "pull") == pytest.approx(1.0)
+
+    def test_push_matches_pittel_asymptotically(self):
+        from repro.analysis.epidemic_theory import pittel_push_cycles
+
+        for n in (64, 128, 256):
+            exact = expected_cycles_to_complete(n, "push")
+            assert exact == pytest.approx(pittel_push_cycles(n), rel=0.2)
+
+    def test_push_pull_fastest(self):
+        n = 64
+        push = expected_cycles_to_complete(n, "push")
+        pull = expected_cycles_to_complete(n, "pull")
+        both = expected_cycles_to_complete(n, "push-pull")
+        assert both < push
+        assert both < pull
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            expected_cycles_to_complete(10, "sideways")
+
+
+class TestStateDistribution:
+    def test_distribution_normalized_every_cycle(self):
+        for cycles in (0, 1, 5, 20):
+            distribution = state_distribution_after(20, cycles, "push")
+            assert sum(distribution) == pytest.approx(1.0)
+
+    def test_mass_moves_to_absorption(self):
+        assert completion_probability_after(16, 0, "push") == 0.0
+        assert completion_probability_after(16, 40, "push") == pytest.approx(
+            1.0, abs=1e-6
+        )
+
+    def test_expected_infected_monotone(self):
+        values = [
+            expected_infected_after(30, c, "push-pull") for c in range(8)
+        ]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_early_doubling(self):
+        # With one seed, push roughly doubles while collisions are rare.
+        expected = expected_infected_after(1000, 4, "push")
+        assert expected == pytest.approx(16.0, rel=0.08)
+
+
+class TestAgainstSimulation:
+    def test_exact_chain_predicts_simulated_completion(self):
+        """The stochastic cluster matches the exact chain's completion
+        probability (n=32, push, 12 cycles)."""
+        from repro.cluster.cluster import Cluster
+        from repro.protocols.anti_entropy import (
+            AntiEntropyConfig,
+            AntiEntropyProtocol,
+        )
+        from repro.protocols.base import ExchangeMode
+        from repro.sim.rng import derive_seed
+
+        n, cycles, trials = 32, 12, 120
+        completions = 0
+        for trial in range(trials):
+            cluster = Cluster(n=n, seed=derive_seed(1234, trial))
+            cluster.add_protocol(
+                AntiEntropyProtocol(
+                    config=AntiEntropyConfig(mode=ExchangeMode.PUSH)
+                )
+            )
+            cluster.inject_update(0, "k", "v", track=True)
+            cluster.run_cycles(cycles)
+            if cluster.metrics.complete:
+                completions += 1
+        simulated = completions / trials
+        exact = completion_probability_after(n, cycles, "push")
+        # Binomial(120, exact) standard deviation is about 0.04.
+        assert simulated == pytest.approx(exact, abs=0.13)
+
+    def test_exact_chain_predicts_simulated_mean_infected(self):
+        from repro.cluster.cluster import Cluster
+        from repro.protocols.anti_entropy import (
+            AntiEntropyConfig,
+            AntiEntropyProtocol,
+        )
+        from repro.protocols.base import ExchangeMode
+        from repro.sim.rng import derive_seed
+
+        n, cycles, trials = 64, 5, 100
+        total = 0
+        for trial in range(trials):
+            cluster = Cluster(n=n, seed=derive_seed(99, trial))
+            cluster.add_protocol(
+                AntiEntropyProtocol(
+                    config=AntiEntropyConfig(mode=ExchangeMode.PULL)
+                )
+            )
+            cluster.inject_update(0, "k", "v", track=True)
+            cluster.run_cycles(cycles)
+            total += cluster.metrics.infected
+        simulated_mean = total / trials
+        exact_mean = expected_infected_after(n, cycles, "pull")
+        assert simulated_mean == pytest.approx(exact_mean, rel=0.15)

@@ -1,0 +1,147 @@
+"""Metrics: residue, traffic m, delays, per-link accounting."""
+
+import math
+
+import pytest
+
+from repro.sim.metrics import (
+    EpidemicMetrics,
+    LinkTraffic,
+    Summary,
+    TrafficCounter,
+    canonical_edge,
+    mean,
+)
+
+
+class TestEpidemicMetrics:
+    def test_residue_counts_never_infected(self):
+        metrics = EpidemicMetrics(n=10)
+        for site in range(7):
+            metrics.record_receipt(site, float(site))
+        assert metrics.residue == pytest.approx(0.3)
+        assert metrics.infected == 7
+        assert not metrics.complete
+
+    def test_complete_when_all_infected(self):
+        metrics = EpidemicMetrics(n=3)
+        for site in range(3):
+            metrics.record_receipt(site, 1.0)
+        assert metrics.complete
+        assert metrics.residue == 0.0
+
+    def test_first_receipt_wins(self):
+        metrics = EpidemicMetrics(n=2)
+        metrics.record_receipt(0, 1.0)
+        metrics.record_receipt(0, 5.0)
+        assert metrics.receipt_times[0] == 1.0
+
+    def test_delays_relative_to_injection(self):
+        metrics = EpidemicMetrics(n=3, injection_time=10.0)
+        metrics.record_receipt(0, 10.0)
+        metrics.record_receipt(1, 12.0)
+        metrics.record_receipt(2, 16.0)
+        assert metrics.t_ave == pytest.approx((0 + 2 + 6) / 3)
+        assert metrics.t_last == pytest.approx(6.0)
+
+    def test_delays_nan_when_nobody_received(self):
+        metrics = EpidemicMetrics(n=3)
+        assert math.isnan(metrics.t_ave)
+        assert math.isnan(metrics.t_last)
+
+    def test_traffic_per_site(self):
+        metrics = EpidemicMetrics(n=4)
+        metrics.record_update_send(6)
+        assert metrics.traffic_per_site == 1.5
+
+    def test_rejects_empty_population(self):
+        with pytest.raises(ValueError):
+            EpidemicMetrics(n=0)
+
+
+class TestTrafficCounter:
+    def test_add_path_charges_every_link(self):
+        counter = TrafficCounter()
+        counter.add_path([0, 1, 2, 3])
+        assert counter.total == 3
+        assert counter.on_link(1, 2) == 1
+        assert counter.on_link(2, 1) == 1  # undirected
+
+    def test_single_node_path_charges_nothing(self):
+        counter = TrafficCounter()
+        counter.add_path([5])
+        assert counter.total == 0
+
+    def test_canonical_edge_orientation(self):
+        assert canonical_edge(5, 2) == (2, 5)
+        assert canonical_edge(2, 5) == (2, 5)
+
+    def test_per_link_average_includes_idle_links(self):
+        counter = TrafficCounter()
+        counter.add_edge(0, 1, 10.0)
+        assert counter.per_link_average(link_count=5) == 2.0
+
+    def test_max_link(self):
+        counter = TrafficCounter()
+        counter.add_edge(0, 1, 3.0)
+        counter.add_edge(1, 2, 7.0)
+        edge, load = counter.max_link()
+        assert edge == (1, 2)
+        assert load == 7.0
+
+    def test_max_link_empty(self):
+        assert TrafficCounter().max_link() == (None, 0.0)
+
+    def test_merge_accumulates(self):
+        a = TrafficCounter()
+        a.add_edge(0, 1, 1.0)
+        b = TrafficCounter()
+        b.add_edge(0, 1, 2.0)
+        b.add_edge(1, 2, 4.0)
+        a.merge(b)
+        assert a.on_link(0, 1) == 3.0
+        assert a.total == 7.0
+
+    def test_scaled(self):
+        counter = TrafficCounter()
+        counter.add_edge(0, 1, 4.0)
+        half = counter.scaled(0.5)
+        assert half.on_link(0, 1) == 2.0
+        assert counter.on_link(0, 1) == 4.0  # original untouched
+
+
+class TestLinkTraffic:
+    def test_merge_merges_both_classes(self):
+        a = LinkTraffic()
+        a.compare.add_edge(0, 1)
+        b = LinkTraffic()
+        b.update.add_edge(0, 1)
+        a.merge(b)
+        assert a.compare.total == 1
+        assert a.update.total == 1
+
+
+class TestSummary:
+    def test_of_values(self):
+        s = Summary.of([1.0, 2.0, 3.0])
+        assert s.mean == 2.0
+        assert s.minimum == 1.0
+        assert s.maximum == 3.0
+        assert s.count == 3
+        assert s.std == pytest.approx(1.0)
+
+    def test_of_single_value(self):
+        s = Summary.of([5.0])
+        assert s.std == 0.0
+
+    def test_skips_nans(self):
+        s = Summary.of([1.0, float("nan"), 3.0])
+        assert s.count == 2
+        assert s.mean == 2.0
+
+    def test_empty(self):
+        assert math.isnan(Summary.of([]).mean)
+
+    def test_mean_helper(self):
+        assert mean([2.0, 4.0]) == 3.0
+        assert math.isnan(mean([]))

@@ -1,0 +1,99 @@
+"""Three-level names and directory records (Clearinghouse substrate)."""
+
+import pytest
+
+from repro.nameservice.names import DomainId, Name
+from repro.nameservice.records import (
+    AddressRecord,
+    AliasRecord,
+    GroupRecord,
+    record_kind,
+)
+
+
+class TestName:
+    def test_parse_and_str_round_trip(self):
+        name = Name.parse("CIN:PARC:printer-35")
+        assert name.organization == "CIN"
+        assert name.domain == "PARC"
+        assert name.local == "printer-35"
+        assert str(name) == "CIN:PARC:printer-35"
+
+    def test_case_insensitive_equality(self):
+        assert Name.parse("CIN:PARC:Alice") == Name.parse("cin:parc:alice")
+        assert hash(Name.parse("CIN:PARC:Alice")) == hash(Name.parse("cin:parc:alice"))
+
+    def test_case_preserved_for_display(self):
+        assert str(Name.parse("CIN:PARC:Alice")) == "CIN:PARC:Alice"
+
+    def test_domain_id_extraction(self):
+        name = Name.parse("CIN:PARC:alice")
+        assert name.domain_id == DomainId("cin", "parc")
+
+    def test_parse_rejects_wrong_arity(self):
+        with pytest.raises(ValueError):
+            Name.parse("CIN:PARC")
+        with pytest.raises(ValueError):
+            Name.parse("CIN:PARC:a:b")
+
+    def test_rejects_bad_labels(self):
+        with pytest.raises(ValueError):
+            Name("", "PARC", "x")
+        with pytest.raises(ValueError):
+            Name("CIN", "PA:RC", "x")
+        with pytest.raises(ValueError):
+            Name("CIN", "PARC", "-leading-dash")
+
+    def test_allows_spaces_dots_dashes(self):
+        Name("CIN", "PARC", "Mail Servers.v2-beta")
+
+
+class TestDomainId:
+    def test_parse(self):
+        assert DomainId.parse("CIN:PARC") == DomainId("CIN", "PARC")
+        with pytest.raises(ValueError):
+            DomainId.parse("CIN")
+
+    def test_name_builder(self):
+        domain = DomainId("CIN", "PARC")
+        assert domain.name("alice") == Name("CIN", "PARC", "alice")
+
+    def test_usable_as_dict_key(self):
+        d = {DomainId("CIN", "PARC"): 1}
+        assert d[DomainId("cin", "parc")] == 1
+
+
+class TestRecords:
+    def test_address_record(self):
+        record = AddressRecord("10.0.0.7", 520)
+        assert str(record) == "10.0.0.7:520"
+        assert record_kind(record) == "address"
+
+    def test_address_validation(self):
+        with pytest.raises(ValueError):
+            AddressRecord("")
+        with pytest.raises(ValueError):
+            AddressRecord("10.0.0.7", port=70000)
+
+    def test_alias_record(self):
+        record = AliasRecord("CIN:PARC:alice")
+        assert record_kind(record) == "alias"
+        with pytest.raises(ValueError):
+            AliasRecord("not-a-full-name")
+
+    def test_group_record_membership(self):
+        group = GroupRecord(frozenset({"CIN:PARC:alice"}))
+        bigger = group.with_member("CIN:PARC:bob")
+        assert "CIN:PARC:bob" in bigger
+        assert "CIN:PARC:bob" not in group  # immutably extended
+        assert len(bigger) == 2
+        smaller = bigger.without_member("CIN:PARC:alice")
+        assert "CIN:PARC:alice" not in smaller
+
+    def test_group_validates_members(self):
+        with pytest.raises(ValueError):
+            GroupRecord(frozenset({"bogus"}))
+
+    def test_record_kind_rejects_junk(self):
+        with pytest.raises(TypeError):
+            record_kind("string")

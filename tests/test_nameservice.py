@@ -1,0 +1,271 @@
+"""The Clearinghouse service end to end."""
+
+import pytest
+
+from repro.nameservice.names import DomainId, Name
+from repro.nameservice.records import AddressRecord, AliasRecord, GroupRecord
+from repro.nameservice.service import Clearinghouse, DomainConfig
+from repro.protocols.anti_entropy import AntiEntropyConfig, AntiEntropyProtocol
+from repro.protocols.base import ExchangeMode
+from repro.topology import builders
+from repro.topology.graph import sites_only
+
+
+@pytest.fixture
+def service():
+    ch = Clearinghouse(sites_only(12), seed=1)
+    ch.create_domain("CIN:PARC", DomainConfig(replicas=range(12)))
+    ch.create_domain("CIN:Webster", DomainConfig(replication=3))
+    return ch
+
+
+class TestDomainAdministration:
+    def test_replica_sets(self, service):
+        assert service.replicas_of(DomainId("CIN", "PARC")) == list(range(12))
+        webster = service.replicas_of(DomainId("CIN", "Webster"))
+        assert len(webster) == 3
+        assert set(webster) <= set(range(12))
+
+    def test_replication_sampling_is_deterministic(self):
+        def build():
+            ch = Clearinghouse(sites_only(20), seed=9)
+            ch.create_domain("o:d", DomainConfig(replication=5))
+            return ch.replicas_of(DomainId("o", "d"))
+
+        assert build() == build()
+
+    def test_duplicate_domain_rejected(self, service):
+        with pytest.raises(ValueError):
+            service.create_domain("CIN:PARC", DomainConfig(replication=2))
+
+    def test_config_requires_exactly_one_spec(self):
+        with pytest.raises(ValueError):
+            DomainConfig()
+        with pytest.raises(ValueError):
+            DomainConfig(replicas=[1], replication=2)
+
+    def test_unknown_replica_rejected(self):
+        ch = Clearinghouse(sites_only(3), seed=0)
+        with pytest.raises(ValueError):
+            ch.create_domain("o:d", DomainConfig(replicas=[99]))
+
+    def test_unknown_domain_raises(self, service):
+        with pytest.raises(KeyError):
+            service.lookup("no:such:name")
+
+
+class TestBindLookup:
+    def test_bind_then_lookup_at_entry_server(self, service):
+        service.bind("CIN:PARC:printer-35", AddressRecord("10.0.7.12"), via=0)
+        record = service.lookup("CIN:PARC:printer-35", at=0)
+        assert record == AddressRecord("10.0.7.12")
+
+    def test_remote_lookup_initially_stale_then_converges(self, service):
+        service.bind("CIN:PARC:printer-35", AddressRecord("10.0.7.12"), via=0)
+        assert service.lookup("CIN:PARC:printer-35", at=11) is None  # stale read
+        service.run_until_consistent()
+        assert service.lookup("CIN:PARC:printer-35", at=11) == AddressRecord(
+            "10.0.7.12"
+        )
+
+    def test_bind_via_non_replica_forwards(self, service):
+        webster = service.replicas_of(DomainId("CIN", "Webster"))
+        outsider = next(s for s in range(12) if s not in webster)
+        service.bind("CIN:Webster:gateway", AddressRecord("10.1.0.1"), via=outsider)
+        service.run_until_consistent()
+        for replica in webster:
+            assert service.lookup("CIN:Webster:gateway", at=replica) is not None
+
+    def test_overwrite_wins_by_timestamp(self, service):
+        service.bind("CIN:PARC:alice", AddressRecord("10.0.0.1"), via=0)
+        service.run_until_consistent()
+        service.bind("CIN:PARC:alice", AddressRecord("10.0.0.2"), via=7)
+        service.run_until_consistent()
+        for server in range(12):
+            assert service.lookup("CIN:PARC:alice", at=server) == AddressRecord(
+                "10.0.0.2"
+            )
+
+    def test_domains_are_independent(self, service):
+        service.bind("CIN:PARC:shared-name", AddressRecord("10.0.0.1"), via=0)
+        service.run_until_consistent()
+        # Same local name, different domain: unrelated binding.
+        assert service.lookup(
+            "CIN:Webster:shared-name",
+            at=service.replicas_of(DomainId("CIN", "Webster"))[0],
+        ) is None
+
+    def test_list_domain(self, service):
+        service.bind("CIN:PARC:a", AddressRecord("10.0.0.1"), via=0)
+        service.bind("CIN:PARC:b", AddressRecord("10.0.0.2"), via=0)
+        service.run_until_consistent()
+        listing = service.list_domain("CIN:PARC", at=5)
+        assert set(listing) == {"a", "b"}
+
+
+class TestUnbind:
+    def test_unbind_spreads_death_certificate(self, service):
+        service.bind("CIN:PARC:gone", AddressRecord("10.0.0.9"), via=0)
+        service.run_until_consistent()
+        service.unbind("CIN:PARC:gone", via=4)
+        service.run_until_consistent()
+        for server in range(12):
+            assert service.lookup("CIN:PARC:gone", at=server) is None
+
+    def test_rebind_after_unbind(self, service):
+        service.bind("CIN:PARC:x", AddressRecord("10.0.0.1"), via=0)
+        service.run_until_consistent()
+        service.unbind("CIN:PARC:x", via=0)
+        service.run_until_consistent()
+        service.bind("CIN:PARC:x", AddressRecord("10.0.0.2"), via=3)
+        service.run_until_consistent()
+        assert service.lookup("CIN:PARC:x", at=9) == AddressRecord("10.0.0.2")
+
+
+class TestAliases:
+    def test_resolve_follows_alias(self, service):
+        service.bind("CIN:PARC:alice", AddressRecord("10.0.0.1"), via=0)
+        service.bind("CIN:PARC:ali", AliasRecord("CIN:PARC:alice"), via=0)
+        service.run_until_consistent()
+        assert service.resolve("CIN:PARC:ali", at=3) == AddressRecord("10.0.0.1")
+
+    def test_resolve_crosses_domains(self, service):
+        webster = service.replicas_of(DomainId("CIN", "Webster"))
+        service.bind("CIN:Webster:server-1", AddressRecord("10.1.0.5"), via=webster[0])
+        service.bind(
+            "CIN:PARC:webster-gw", AliasRecord("CIN:Webster:server-1"), via=0
+        )
+        service.run_until_consistent()
+        assert service.resolve("CIN:PARC:webster-gw", at=0) == AddressRecord(
+            "10.1.0.5"
+        )
+
+    def test_alias_loop_detected(self, service):
+        service.bind("CIN:PARC:a", AliasRecord("CIN:PARC:b"), via=0)
+        service.bind("CIN:PARC:b", AliasRecord("CIN:PARC:a"), via=0)
+        service.run_until_consistent()
+        with pytest.raises(ValueError):
+            service.resolve("CIN:PARC:a", at=0)
+
+    def test_dangling_alias_resolves_to_none(self, service):
+        service.bind("CIN:PARC:dangling", AliasRecord("CIN:PARC:ghost"), via=0)
+        service.run_until_consistent()
+        assert service.resolve("CIN:PARC:dangling", at=0) is None
+
+
+class TestGroups:
+    def test_group_updates_last_writer_wins(self, service):
+        group = GroupRecord(frozenset({"CIN:PARC:alice"}))
+        service.bind("CIN:PARC:csl", group, via=0)
+        service.run_until_consistent()
+        current = service.lookup("CIN:PARC:csl", at=4)
+        service.bind("CIN:PARC:csl", current.with_member("CIN:PARC:bob"), via=4)
+        service.run_until_consistent()
+        final = service.lookup("CIN:PARC:csl", at=0)
+        assert final.members == frozenset({"CIN:PARC:alice", "CIN:PARC:bob"})
+
+
+class TestTopologyAwareness:
+    def test_nearest_replica_on_a_line(self):
+        topo = builders.line(10)
+        ch = Clearinghouse(topo, seed=0)
+        ch.create_domain("o:d", DomainConfig(replicas=[0, 9]))
+        domain = DomainId("o", "d")
+        assert ch.nearest_replica(domain, near=2) == 0
+        assert ch.nearest_replica(domain, near=7) == 9
+        assert ch.nearest_replica(domain, near=9) == 9
+
+    def test_custom_protocol_stack(self):
+        ch = Clearinghouse(sites_only(8), seed=0)
+        built = []
+
+        def factory(replicas):
+            protocol = AntiEntropyProtocol(
+                config=AntiEntropyConfig(mode=ExchangeMode.PUSH_PULL)
+            )
+            built.append(protocol)
+            return [protocol]
+
+        ch.create_domain("o:d", DomainConfig(replicas=range(8), protocols=factory))
+        assert built
+        ch.bind("o:d:k", AddressRecord("10.0.0.1"), via=0)
+        ch.run_until_consistent()
+        assert ch.lookup("o:d:k", at=7) == AddressRecord("10.0.0.1")
+
+    def test_single_replica_domain_needs_no_protocols(self):
+        ch = Clearinghouse(sites_only(5), seed=0)
+        replicas = ch.create_domain("o:solo", DomainConfig(replication=1))
+        ch.bind("o:solo:k", AddressRecord("10.0.0.1"))
+        assert ch.lookup("o:solo:k") == AddressRecord("10.0.0.1")
+        assert ch.consistent()
+
+    def test_domain_created_after_cycles_starts_in_step(self):
+        ch = Clearinghouse(sites_only(6), seed=0)
+        ch.create_domain("o:first", DomainConfig(replicas=range(6)))
+        ch.run_cycles(5)
+        ch.create_domain("o:late", DomainConfig(replicas=range(6)))
+        ch.bind("o:late:k", AddressRecord("10.0.0.1"), via=0)
+        ch.run_until_consistent()
+        assert ch.lookup("o:late:k", at=5) == AddressRecord("10.0.0.1")
+
+
+class TestDomainMembership:
+    def test_expand_domain_new_replica_catches_up(self, service):
+        webster = service.replicas_of(DomainId("CIN", "Webster"))
+        service.bind("CIN:Webster:gw", AddressRecord("10.1.0.9"), via=webster[0])
+        service.run_until_consistent()
+        newcomer = next(s for s in range(12) if s not in webster)
+        service.expand_domain("CIN:Webster", newcomer)
+        assert service.lookup("CIN:Webster:gw", at=newcomer) is None
+        service.run_until_consistent()
+        assert service.lookup("CIN:Webster:gw", at=newcomer) == AddressRecord(
+            "10.1.0.9"
+        )
+        assert newcomer in service.replicas_of(DomainId("CIN", "Webster"))
+
+    def test_expand_rejects_duplicates_and_strangers(self, service):
+        webster = service.replicas_of(DomainId("CIN", "Webster"))
+        with pytest.raises(ValueError):
+            service.expand_domain("CIN:Webster", webster[0])
+        with pytest.raises(ValueError):
+            service.expand_domain("CIN:Webster", 999)
+
+    def test_contract_domain(self, service):
+        webster = service.replicas_of(DomainId("CIN", "Webster"))
+        service.bind("CIN:Webster:k", AddressRecord("10.1.0.2"), via=webster[0])
+        service.run_until_consistent()
+        departing = webster[-1]
+        service.contract_domain("CIN:Webster", departing)
+        remaining = service.replicas_of(DomainId("CIN", "Webster"))
+        assert departing not in remaining
+        # The remaining replicas still serve the data consistently.
+        service.bind("CIN:Webster:k2", AddressRecord("10.1.0.3"), via=remaining[0])
+        service.run_until_consistent()
+        assert service.lookup("CIN:Webster:k2", at=remaining[-1]) is not None
+
+    def test_contract_rejects_non_replica(self, service):
+        webster = service.replicas_of(DomainId("CIN", "Webster"))
+        outsider = next(s for s in range(12) if s not in webster)
+        with pytest.raises(ValueError):
+            service.contract_domain("CIN:Webster", outsider)
+
+    def test_migrate_domain_across_servers(self, service):
+        """Expand then contract: a domain walks to a new replica set
+        without ever losing data."""
+        domain = DomainId("CIN", "Webster")
+        original = service.replicas_of(domain)
+        service.bind("CIN:Webster:precious", AddressRecord("10.1.0.7"),
+                     via=original[0])
+        service.run_until_consistent()
+        targets = [s for s in range(12) if s not in original][:3]
+        for server in targets:
+            service.expand_domain(domain, server)
+            service.run_until_consistent()
+        for server in original:
+            service.contract_domain(domain, server)
+        service.run_until_consistent()
+        assert sorted(service.replicas_of(domain)) == sorted(targets)
+        for server in targets:
+            assert service.lookup("CIN:Webster:precious", at=server) == AddressRecord(
+                "10.1.0.7"
+            )

@@ -1,0 +1,228 @@
+"""Rumor mongering (Section 1.4): core mechanics of complex epidemics."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.protocols.base import ExchangeMode
+from repro.protocols.rumor import RumorConfig, RumorMongeringProtocol
+from repro.sim.transport import ConnectionPolicy
+
+
+def rumor_cluster(n, config, seed=0):
+    cluster = Cluster(n=n, seed=seed)
+    protocol = RumorMongeringProtocol(config)
+    cluster.add_protocol(protocol)
+    return cluster, protocol
+
+
+def run_epidemic(n, config, seed=0, max_cycles=500):
+    cluster, protocol = rumor_cluster(n, config, seed)
+    cluster.inject_update(0, "k", "v", track=True)
+    cluster.run_until(lambda: not protocol.active, max_cycles=max_cycles)
+    return cluster, protocol
+
+
+class TestConfigValidation:
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RumorConfig(k=0)
+
+    def test_minimization_requires_push_pull(self):
+        with pytest.raises(ValueError):
+            RumorConfig(mode=ExchangeMode.PUSH, minimization=True)
+
+    def test_minimization_requires_feedback_counters(self):
+        with pytest.raises(ValueError):
+            RumorConfig(
+                mode=ExchangeMode.PUSH_PULL, minimization=True, counter=False
+            )
+
+    def test_reset_on_success_auto(self):
+        assert RumorConfig(mode=ExchangeMode.PULL).resets_on_success
+        assert not RumorConfig(mode=ExchangeMode.PUSH).resets_on_success
+        assert RumorConfig(
+            mode=ExchangeMode.PUSH, reset_on_success=True
+        ).resets_on_success
+
+    def test_describe_mentions_variant(self):
+        text = RumorConfig(mode=ExchangeMode.PULL, feedback=False, counter=False).describe()
+        assert "pull" in text and "blind" in text and "coin" in text
+
+
+class TestInfectionStates:
+    def test_injection_makes_site_infective(self):
+        cluster, protocol = rumor_cluster(5, RumorConfig())
+        cluster.inject_update(0, "k", "v")
+        assert protocol.is_infective(0, "k")
+        assert protocol.infective_count("k") == 1
+
+    def test_receipt_makes_recipient_infective(self):
+        cluster, protocol = rumor_cluster(5, RumorConfig(k=5))
+        cluster.inject_update(0, "k", "v", track=True)
+        cluster.run_until(lambda: cluster.metrics.infected > 1, max_cycles=20)
+        newly = [s for s in cluster.metrics.receipt_times if s != 0]
+        assert any(protocol.is_infective(s, "k") for s in newly)
+
+    def test_removed_sites_keep_the_value(self):
+        cluster, protocol = run_epidemic(100, RumorConfig(k=3))
+        # Everyone who got the update retains it after quiescence.
+        for site in cluster.metrics.receipt_times:
+            assert cluster.sites[site].store.get("k") == "v"
+        assert not protocol.active
+
+    def test_quiescence_reached(self):
+        cluster, protocol = run_epidemic(200, RumorConfig(k=2))
+        assert protocol.infective_count() == 0
+
+    def test_newer_update_refreshes_rumor(self):
+        cluster, protocol = rumor_cluster(5, RumorConfig(k=1))
+        cluster.inject_update(0, "k", "v1")
+        rumor_v1 = protocol.hot_rumors(0)["k"]
+        cluster.inject_update(0, "k", "v2")
+        rumor_v2 = protocol.hot_rumors(0)["k"]
+        assert rumor_v2.entry.timestamp > rumor_v1.entry.timestamp
+        assert rumor_v2.counter == 0
+
+    def test_stale_news_does_not_downgrade_rumor(self):
+        cluster, protocol = rumor_cluster(5, RumorConfig(k=1))
+        old = cluster.sites[1].store.update("k", "old")  # stamped cycle 0
+        cluster.run_cycle()
+        cluster.inject_update(0, "k", "new")             # stamped cycle 1
+        protocol.make_hot(0, old)
+        assert protocol.hot_rumors(0)["k"].entry.value == "new"
+
+
+class TestPushDynamics:
+    def test_only_infective_sites_initiate(self):
+        cluster, protocol = rumor_cluster(50, RumorConfig(mode=ExchangeMode.PUSH, k=2))
+        cluster.run_cycle()
+        assert protocol.stats.conversations == 0  # nobody infective yet
+        cluster.inject_update(0, "k", "v")
+        cluster.run_cycle()
+        assert protocol.stats.conversations == 1  # just the seed
+
+    def test_epidemic_growth_roughly_doubles(self):
+        cluster, protocol = rumor_cluster(
+            1000, RumorConfig(mode=ExchangeMode.PUSH, k=5), seed=3
+        )
+        cluster.inject_update(0, "k", "v", track=True)
+        for cycle in range(1, 6):
+            cluster.run_cycle()
+            assert cluster.metrics.infected <= 2 ** cycle
+
+    def test_counter_k1_stops_after_one_useless_push(self):
+        cluster, protocol = rumor_cluster(
+            2, RumorConfig(mode=ExchangeMode.PUSH, feedback=True, counter=True, k=1)
+        )
+        cluster.inject_update(0, "k", "v")
+        cluster.run_cycle()   # 0 pushes to 1: useful
+        assert protocol.is_infective(0, "k")
+        assert protocol.is_infective(1, "k")
+        cluster.run_cycles(3)  # pushes now useless; both deactivate fast
+        assert not protocol.active
+
+    def test_blind_counter_lives_exactly_k_cycles(self):
+        k = 4
+        cluster, protocol = rumor_cluster(
+            30, RumorConfig(mode=ExchangeMode.PUSH, feedback=False, counter=True, k=k)
+        )
+        cluster.inject_update(0, "k", "v")
+        for __ in range(k - 1):
+            cluster.run_cycle()
+            assert protocol.is_infective(0, "k")
+        cluster.run_cycle()
+        assert not protocol.is_infective(0, "k")
+
+
+class TestPullDynamics:
+    def test_every_site_pulls_each_cycle(self):
+        cluster, protocol = rumor_cluster(20, RumorConfig(mode=ExchangeMode.PULL))
+        cluster.run_cycle()
+        # Even a quiescent database generates pull requests (the paper's
+        # stated drawback of pull).
+        assert protocol.stats.conversations == 20
+        assert protocol.stats.updates_sent == 0
+
+    def test_pull_spreads_update(self):
+        cluster, protocol = run_epidemic(
+            300, RumorConfig(mode=ExchangeMode.PULL, k=2), seed=2
+        )
+        assert cluster.metrics.residue < 0.05
+
+    def test_footnote_counter_reset_on_any_needy_recipient(self):
+        # Site 0 infective among 3 sites; two pulls in one cycle, one
+        # needy and one not -> counter resets rather than incrementing.
+        config = RumorConfig(mode=ExchangeMode.PULL, feedback=True, counter=True, k=1)
+        cluster, protocol = rumor_cluster(3, config, seed=11)
+        cluster.inject_update(0, "k", "v")
+        # Manually give site 1 the value so its pull is unnecessary,
+        # while site 2's pull is useful.
+        update = protocol.hot_rumors(0)["k"]
+        cluster.sites[1].store.apply_entry("k", update.entry)
+        cluster.run_cycle()
+        # Whether the rumor survived depends on who pulled site 0; what
+        # must never happen at k=1 is survival after a cycle where all
+        # pullers were unneedy AND none needy.
+        rumors = protocol.hot_rumors(0)
+        if "k" in rumors:
+            assert rumors["k"].counter == 0  # reset or untouched
+
+
+class TestPushPullDynamics:
+    def test_push_pull_converges_fast_and_fully(self):
+        cluster, protocol = run_epidemic(
+            300, RumorConfig(mode=ExchangeMode.PUSH_PULL, k=2), seed=4
+        )
+        assert cluster.metrics.residue < 0.02
+        assert cluster.metrics.t_last < 25
+
+    def test_minimization_variant_runs_and_converges(self):
+        config = RumorConfig(
+            mode=ExchangeMode.PUSH_PULL, feedback=True, counter=True,
+            k=2, minimization=True,
+        )
+        cluster, protocol = run_epidemic(300, config, seed=5)
+        assert cluster.metrics.residue < 0.02
+
+
+class TestConnectionLimits:
+    def test_rejections_happen_under_limit_one(self):
+        config = RumorConfig(
+            mode=ExchangeMode.PULL,
+            policy=ConnectionPolicy(connection_limit=1, hunt_limit=0),
+        )
+        cluster, protocol = rumor_cluster(100, config, seed=6)
+        cluster.inject_update(0, "k", "v")
+        cluster.run_cycles(3)
+        assert protocol.stats.rejected > 0
+
+    def test_push_with_limit_still_completes_mostly(self):
+        config = RumorConfig(
+            mode=ExchangeMode.PUSH, feedback=True, counter=True, k=4,
+            policy=ConnectionPolicy(connection_limit=1, hunt_limit=0),
+        )
+        cluster, protocol = run_epidemic(300, config, seed=7)
+        assert cluster.metrics.residue < 0.1
+
+
+class TestTrafficAccounting:
+    def test_updates_sent_counted_per_rumor_shipment(self):
+        cluster, protocol = rumor_cluster(2, RumorConfig(mode=ExchangeMode.PUSH, k=9))
+        cluster.inject_update(0, "k", "v", track=True)
+        cluster.run_cycle()
+        assert cluster.metrics.update_sends == 1   # 0 -> 1, useful
+        cluster.run_cycle()
+        # Both sites are now infective; each pushes the (useless) rumor.
+        assert cluster.metrics.update_sends == 3
+
+    def test_residue_traffic_relation_holds(self):
+        """The paper's s = e^-m law for push variants (within noise)."""
+        import math
+
+        cluster, protocol = run_epidemic(
+            1000, RumorConfig(mode=ExchangeMode.PUSH, k=3), seed=8
+        )
+        m = cluster.metrics.traffic_per_site
+        s = cluster.metrics.residue
+        if s > 0:
+            assert s == pytest.approx(math.exp(-m), rel=1.0)

@@ -1,0 +1,100 @@
+"""Counter minimization micro-semantics (Section 1.4, 'Minimization').
+
+"use a push and a pull together, and if both sites already know the
+update, then only the site with the smaller counter is incremented (in
+the case of equality both must be incremented)."
+"""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.protocols.base import ExchangeMode
+from repro.protocols.rumor import RumorConfig, RumorMongeringProtocol
+
+
+def pair_cluster(k=5, seed=0):
+    """Two sites, both hot with the same rumor, zeroed counters."""
+    cluster = Cluster(n=2, seed=seed)
+    protocol = RumorMongeringProtocol(
+        RumorConfig(mode=ExchangeMode.PUSH_PULL, k=k, minimization=True)
+    )
+    cluster.add_protocol(protocol)
+    cluster.inject_update(0, "k", "v")
+    cluster.run_cycle()  # site 1 learns and becomes hot
+    assert protocol.is_infective(0, "k") and protocol.is_infective(1, "k")
+    return cluster, protocol
+
+
+def counters(protocol):
+    return (
+        protocol._hot[0]["k"].counter if "k" in protocol._hot.get(0, {}) else None,
+        protocol._hot[1]["k"].counter if "k" in protocol._hot.get(1, {}) else None,
+    )
+
+
+class TestMinimizationRule:
+    def test_equal_counters_both_increment(self):
+        cluster, protocol = pair_cluster(k=5)
+        c0, c1 = counters(protocol)
+        cluster.run_cycle()
+        n0, n1 = counters(protocol)
+        assert n0 == c0 + 1
+        assert n1 == c1 + 1
+
+    def test_smaller_counter_increments_alone(self):
+        cluster, protocol = pair_cluster(k=10)
+        protocol._hot[0]["k"].counter = 3   # site 0 is "older" in interest
+        protocol._hot[1]["k"].counter = 1
+        cluster.run_cycle()
+        n0, n1 = counters(protocol)
+        assert n0 == 3    # larger counter untouched
+        assert n1 == 2    # smaller one incremented
+
+    def test_counters_converge_then_march_together(self):
+        cluster, protocol = pair_cluster(k=10)
+        protocol._hot[0]["k"].counter = 4
+        protocol._hot[1]["k"].counter = 0
+        for __ in range(4):
+            cluster.run_cycle()
+        n0, n1 = counters(protocol)
+        assert n0 == 4 and n1 == 4
+        cluster.run_cycle()
+        assert counters(protocol) == (5, 5)
+
+    def test_deactivation_at_k(self):
+        cluster, protocol = pair_cluster(k=2)
+        cluster.run_cycle()   # counters 1,1
+        cluster.run_cycle()   # counters 2,2 -> both removed
+        assert not protocol.active
+
+    def test_useful_transfer_still_counts_normally(self):
+        """When one side's rumor is genuinely newer, the exchange is a
+        normal useful push, not a joint minimization event."""
+        cluster, protocol = pair_cluster(k=5)
+        protocol._hot[0]["k"].counter = 2
+        cluster.inject_update(0, "k", "v2")   # fresh rumor at site 0
+        assert protocol._hot[0]["k"].counter == 0
+        cluster.run_cycle()
+        # Site 1 received the newer value and is hot with counter 0.
+        assert cluster.sites[1].store.get("k") == "v2"
+        assert protocol._hot[1]["k"].counter == 0
+
+
+class TestMinimizationWithThirdParty:
+    def test_mixed_contacts_aggregate_conservatively(self):
+        """With three sites, a cycle can bring one site both a joint
+        (minimization) event and a useful/useless event; the counter
+        advances at most once per cycle."""
+        cluster = Cluster(n=3, seed=3)
+        protocol = RumorMongeringProtocol(
+            RumorConfig(mode=ExchangeMode.PUSH_PULL, k=10, minimization=True)
+        )
+        cluster.add_protocol(protocol)
+        cluster.inject_update(0, "k", "v")
+        before = {s: r.counter for s, rumors in protocol._hot.items()
+                  for key, r in rumors.items()}
+        cluster.run_cycles(3)
+        for site_id in cluster.site_ids:
+            rumor = protocol._hot[site_id].get("k")
+            if rumor is not None:
+                assert rumor.counter <= 3

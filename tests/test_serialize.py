@@ -1,0 +1,145 @@
+"""Checkpoint serialization: JSON round-trips of store content."""
+
+import json
+
+import pytest
+
+from repro.core.items import DeathCertificate, VersionedValue
+from repro.core.serialize import (
+    decode_entry,
+    decode_timestamp,
+    decode_update,
+    dump_store,
+    encode_entry,
+    encode_timestamp,
+    encode_update,
+    load_store,
+)
+from repro.core.store import StoreUpdate
+from repro.core.timestamps import Timestamp
+
+from conftest import make_store, ts
+
+
+class TestTimestampCodec:
+    def test_round_trip(self):
+        stamp = Timestamp(3.5, site=7, sequence=11)
+        assert decode_timestamp(encode_timestamp(stamp)) == stamp
+
+    def test_json_compatible(self):
+        blob = json.dumps(encode_timestamp(Timestamp(1.0, 2, 3)))
+        assert decode_timestamp(json.loads(blob)) == Timestamp(1.0, 2, 3)
+
+
+class TestEntryCodec:
+    def test_value_round_trip(self):
+        entry = VersionedValue({"nested": [1, 2]}, ts(4.0, 1, 2))
+        assert decode_entry(encode_entry(entry)) == entry
+
+    def test_certificate_round_trip(self):
+        cert = DeathCertificate(
+            ts(1.0), ts(1.0), retention_sites=(3, 9)
+        ).reactivated(now=50.0)
+        decoded = decode_entry(encode_entry(cert))
+        assert decoded == cert
+        assert decoded.activation_timestamp.time == 50.0
+        assert decoded.retention_sites == (3, 9)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            decode_entry({"kind": "mystery"})
+
+    def test_update_round_trip(self):
+        update = StoreUpdate(key="k", entry=VersionedValue("v", ts(1.0)))
+        assert decode_update(encode_update(update)) == update
+
+
+class TestStoreDump:
+    def _populated_store(self):
+        store = make_store(0)
+        store.update("a", 1)
+        store.update("b", {"addr": "10.0.0.1"})
+        store.delete("a", retention_sites=(0,))
+        return store
+
+    def test_dump_is_json_serializable(self):
+        store = self._populated_store()
+        blob = json.dumps(dump_store(store))
+        assert "certificate" in blob
+
+    def test_restore_into_empty_store_reproduces_content(self):
+        store = self._populated_store()
+        restored = make_store(1)
+        applied = load_store(json.loads(json.dumps(dump_store(store))), restored)
+        assert applied == 2
+        assert restored.agrees_with(store)
+        assert restored.checksum == store.checksum
+
+    def test_dump_includes_dormant_certificates(self):
+        store = self._populated_store()
+        for __ in range(30):
+            store.clock.next_timestamp()
+        store.sweep_certificates(tau1=5.0, tau2=1000.0)
+        assert store.dormant_count() == 1
+        payload = dump_store(store)
+        assert len(payload["dormant"]) == 1
+        restored = make_store(0)
+        load_store(payload, restored)
+        # The certificate is live again in the restored store; the next
+        # sweep will re-expire it into dormancy.
+        assert restored.entry("a") is not None
+        assert restored.entry("a").is_deletion
+
+    def test_load_merges_by_last_writer_wins(self):
+        old = make_store(0)
+        old.update("k", "stale")
+        payload = dump_store(old)
+        target = make_store(1, start=100.0)
+        target.update("k", "fresh")
+        load_store(payload, target)
+        assert target.get("k") == "fresh"
+
+    def test_load_is_idempotent(self):
+        store = self._populated_store()
+        payload = dump_store(store)
+        target = make_store(1)
+        assert load_store(payload, target) > 0
+        assert load_store(payload, target) == 0
+
+    def test_version_checked(self):
+        store = self._populated_store()
+        payload = dump_store(store)
+        payload["version"] = 99
+        with pytest.raises(ValueError):
+            load_store(payload, make_store(1))
+
+    def test_crash_restore_scenario(self):
+        """A site checkpoints, 'crashes', restores, and anti-entropy
+        brings it fully current."""
+        from repro.cluster.cluster import Cluster
+        from repro.protocols.anti_entropy import (
+            AntiEntropyConfig,
+            AntiEntropyProtocol,
+        )
+        from repro.protocols.base import ExchangeMode
+
+        cluster = Cluster(n=8, seed=1)
+        cluster.add_protocol(
+            AntiEntropyProtocol(config=AntiEntropyConfig(mode=ExchangeMode.PUSH_PULL))
+        )
+        cluster.inject_update(0, "early", "e")
+        cluster.run_until(cluster.converged, max_cycles=40)
+        checkpoint = json.dumps(dump_store(cluster.sites[5].store))
+        cluster.sites[5].up = False
+        cluster.inject_update(0, "late", "l")
+        cluster.run_until(
+            lambda: cluster.converged(cluster.up_site_ids()), max_cycles=40
+        )
+        # "Restore from stable storage" (a no-op here since the store
+        # survived, but prove the checkpoint alone would have sufficed).
+        fresh = make_store(5)
+        load_store(json.loads(checkpoint), fresh)
+        assert fresh.get("early") == "e"
+        cluster.sites[5].up = True
+        cluster.run_until(cluster.converged, max_cycles=40)
+        assert cluster.sites[5].store.get("late") == "l"

@@ -1,0 +1,184 @@
+"""Spatial partner-selection distributions (Section 3)."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.topology import builders
+from repro.topology.distance import SiteDistances
+from repro.topology.spatial import (
+    DistancePowerSelector,
+    QDistanceSelector,
+    QPowerSelector,
+    SortedListSelector,
+    UniformSelector,
+    selector_for,
+)
+
+
+@pytest.fixture(scope="module")
+def line_distances():
+    return SiteDistances(builders.line(20))
+
+
+class TestUniformSelector:
+    def test_never_chooses_self(self):
+        selector = UniformSelector([0, 1, 2, 3])
+        rng = random.Random(0)
+        assert all(selector.choose(2, rng) != 2 for __ in range(200))
+
+    def test_covers_all_partners(self):
+        selector = UniformSelector(list(range(5)))
+        rng = random.Random(0)
+        seen = {selector.choose(0, rng) for __ in range(300)}
+        assert seen == {1, 2, 3, 4}
+
+    def test_probability_is_uniform(self):
+        selector = UniformSelector(list(range(5)))
+        assert selector.probability(0, 3) == pytest.approx(0.25)
+        assert selector.probability(0, 0) == 0.0
+
+    def test_empirical_distribution_roughly_uniform(self):
+        selector = UniformSelector(list(range(4)))
+        rng = random.Random(7)
+        counts = Counter(selector.choose(0, rng) for __ in range(3000))
+        for partner in (1, 2, 3):
+            assert counts[partner] / 3000 == pytest.approx(1 / 3, abs=0.05)
+
+    def test_requires_two_sites(self):
+        with pytest.raises(ValueError):
+            UniformSelector([0])
+
+    def test_works_with_non_contiguous_ids(self):
+        selector = UniformSelector([5, 17, 99])
+        rng = random.Random(0)
+        assert all(selector.choose(17, rng) in (5, 99) for __ in range(50))
+
+
+class TestWeightedSelectors:
+    def test_probabilities_sum_to_one(self, line_distances):
+        for selector in (
+            DistancePowerSelector(line_distances, a=2.0),
+            QPowerSelector(line_distances, a=2.0),
+            QDistanceSelector(line_distances),
+            SortedListSelector(line_distances, a=1.4),
+            SortedListSelector(line_distances, a=1.4, form="exact"),
+        ):
+            total = sum(
+                selector.probability(5, other)
+                for other in line_distances.sites
+                if other != 5
+            )
+            assert total == pytest.approx(1.0)
+
+    def test_distance_power_prefers_near(self, line_distances):
+        selector = DistancePowerSelector(line_distances, a=2.0)
+        assert selector.probability(0, 1) > selector.probability(0, 2)
+        assert selector.probability(0, 2) > selector.probability(0, 10)
+
+    def test_distance_power_ratio_matches_formula(self, line_distances):
+        selector = DistancePowerSelector(line_distances, a=2.0)
+        ratio = selector.probability(0, 1) / selector.probability(0, 4)
+        assert ratio == pytest.approx(16.0)
+
+    def test_never_chooses_self(self, line_distances):
+        rng = random.Random(1)
+        for selector in (
+            QPowerSelector(line_distances, a=2.0),
+            SortedListSelector(line_distances, a=2.0),
+        ):
+            assert all(selector.choose(7, rng) != 7 for __ in range(200))
+
+    def test_empirical_matches_declared_probabilities(self, line_distances):
+        selector = QPowerSelector(line_distances, a=2.0)
+        rng = random.Random(3)
+        draws = 5000
+        counts = Counter(selector.choose(10, rng) for __ in range(draws))
+        for partner in (9, 11, 0, 19):
+            expected = selector.probability(10, partner)
+            assert counts[partner] / draws == pytest.approx(expected, abs=0.02)
+
+    def test_equidistant_sites_equally_likely(self, line_distances):
+        # From site 10, sites 9 and 11 are both at distance 1.
+        for selector in (
+            QPowerSelector(line_distances, a=2.0),
+            SortedListSelector(line_distances, a=1.6),
+        ):
+            assert selector.probability(10, 9) == pytest.approx(
+                selector.probability(10, 11)
+            )
+
+
+class TestSortedListSelector:
+    def test_a2_integral_form_matches_closed_form(self, line_distances):
+        """For a=2 equation (3.1.1) reduces to 1/((Q(d-1)+1)(Q(d)+1))."""
+        selector = SortedListSelector(line_distances, a=2.0)
+        s = 10
+        d = 3  # sites 7 and 13: Q(2)=4, Q(3)=6
+        q_prev = line_distances.q(s, d - 1)
+        q_here = line_distances.q(s, d)
+        expected_weight = 1.0 / ((q_prev + 1) * (q_here + 1))
+        # Normalize by summing over all partners.
+        total = 0.0
+        others, dists = line_distances.others_by_distance(s)
+        for other, dist in zip(others, dists):
+            qp = line_distances.q(s, dist - 1)
+            qh = line_distances.q(s, dist)
+            total += 1.0 / ((qp + 1) * (qh + 1))
+        assert selector.probability(s, 13) == pytest.approx(expected_weight / total)
+
+    def test_exact_and_integral_forms_agree(self, line_distances):
+        """The +1-corrected integral approximation tracks the exact sum
+        within a constant factor and preserves the ordering."""
+        integral = SortedListSelector(line_distances, a=1.6, form="integral")
+        exact = SortedListSelector(line_distances, a=1.6, form="exact")
+        ratios = []
+        for partner in (1, 5, 12, 19):
+            p_int = integral.probability(0, partner)
+            p_exact = exact.probability(0, partner)
+            assert p_int == pytest.approx(p_exact, rel=0.6)
+            ratios.append(p_int / p_exact)
+        probs_int = [integral.probability(0, p) for p in range(1, 20)]
+        probs_exact = [exact.probability(0, p) for p in range(1, 20)]
+        assert probs_int == sorted(probs_int, reverse=True)
+        assert probs_exact == sorted(probs_exact, reverse=True)
+
+    def test_a1_logarithmic_form(self, line_distances):
+        selector = SortedListSelector(line_distances, a=1.0)
+        total = sum(
+            selector.probability(0, other)
+            for other in line_distances.sites
+            if other != 0
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_larger_a_is_more_local(self, line_distances):
+        near_heavy = SortedListSelector(line_distances, a=2.0)
+        near_light = SortedListSelector(line_distances, a=1.2)
+        assert near_heavy.probability(0, 1) > near_light.probability(0, 1)
+        assert near_heavy.probability(0, 19) < near_light.probability(0, 19)
+
+    def test_invalid_form_rejected(self, line_distances):
+        with pytest.raises(ValueError):
+            SortedListSelector(line_distances, a=2.0, form="bogus")
+
+
+class TestFactory:
+    def test_all_kinds(self, line_distances):
+        for kind in ("uniform", "dpower", "qpower", "dq", "paper", "paper-exact"):
+            selector = selector_for(kind, distances=line_distances, a=1.5)
+            rng = random.Random(0)
+            assert selector.choose(0, rng) in line_distances.sites
+
+    def test_unknown_kind(self, line_distances):
+        with pytest.raises(ValueError):
+            selector_for("bogus", distances=line_distances)
+
+    def test_uniform_needs_sites_or_distances(self):
+        with pytest.raises(ValueError):
+            selector_for("uniform")
+
+    def test_weighted_needs_distances(self):
+        with pytest.raises(ValueError):
+            selector_for("qpower")

@@ -1,0 +1,95 @@
+"""Property-based tests of spatial selectors on random topologies."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.topology import builders
+from repro.topology.distance import SiteDistances
+from repro.topology.spatial import (
+    DistancePowerSelector,
+    QDistanceSelector,
+    QPowerSelector,
+    SortedListSelector,
+    UniformSelector,
+)
+
+SELECTOR_BUILDERS = [
+    lambda d: UniformSelector(d.sites),
+    lambda d: DistancePowerSelector(d, a=1.5),
+    lambda d: QPowerSelector(d, a=2.0),
+    lambda d: QDistanceSelector(d),
+    lambda d: SortedListSelector(d, a=1.3),
+    lambda d: SortedListSelector(d, a=2.0, form="exact"),
+]
+
+
+topology_strategy = st.builds(
+    builders.random_connected,
+    n=st.integers(4, 25),
+    extra_edges=st.integers(0, 15),
+    seed=st.integers(0, 1000),
+)
+
+
+class TestSelectorProperties:
+    @given(topology=topology_strategy, index=st.integers(0, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_probabilities_form_a_distribution(self, topology, index):
+        distances = SiteDistances(topology)
+        selector = SELECTOR_BUILDERS[index](distances)
+        site = distances.sites[0]
+        total = 0.0
+        for other in distances.sites:
+            p = selector.probability(site, other)
+            assert p >= 0.0
+            if other == site:
+                assert p == 0.0
+            total += p
+        assert total == pytest.approx(1.0)
+
+    @given(
+        topology=topology_strategy,
+        index=st.integers(0, 5),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_choose_returns_valid_partner(self, topology, index, seed):
+        distances = SiteDistances(topology)
+        selector = SELECTOR_BUILDERS[index](distances)
+        rng = random.Random(seed)
+        site = distances.sites[seed % len(distances.sites)]
+        for __ in range(20):
+            partner = selector.choose(site, rng)
+            assert partner in distances.sites
+            assert partner != site
+
+    @given(topology=topology_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_weighted_selectors_prefer_nearer_sites_on_average(self, topology):
+        """For every non-uniform family, the expected partner distance
+        is no larger than uniform's."""
+        distances = SiteDistances(topology)
+        site = distances.sites[0]
+
+        def expected_distance(selector):
+            return sum(
+                selector.probability(site, other) * distances.distance(site, other)
+                for other in distances.sites
+                if other != site
+            )
+
+        uniform = expected_distance(UniformSelector(distances.sites))
+        for build in SELECTOR_BUILDERS[1:]:
+            assert expected_distance(build(distances)) <= uniform + 1e-9
+
+    @given(topology=topology_strategy, seed=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_choices_deterministic_given_rng_state(self, topology, seed):
+        distances = SiteDistances(topology)
+        selector = SortedListSelector(distances, a=1.5)
+        site = distances.sites[0]
+        first = [selector.choose(site, random.Random(seed)) for __ in range(5)]
+        second = [selector.choose(site, random.Random(seed)) for __ in range(5)]
+        assert first == second

@@ -1,0 +1,261 @@
+"""The replica store: LWW merging, checksums, certificates (Sections 1.1-2)."""
+
+import pytest
+
+from repro.core.items import NIL, DeathCertificate, VersionedValue
+from repro.core.store import ApplyResult, ReplicaStore
+from repro.core.timestamps import SequenceClock, Timestamp
+
+from conftest import make_store, ts
+
+
+class TestClientOperations:
+    def test_update_then_get(self, store):
+        store.update("k", "v")
+        assert store.get("k") == "v"
+        assert "k" in store
+
+    def test_get_missing_returns_none(self, store):
+        assert store.get("ghost") is None
+
+    def test_update_returns_shippable_update(self, store):
+        update = store.update("k", "v")
+        assert update.key == "k"
+        assert update.entry.value == "v"
+
+    def test_later_update_wins(self, store):
+        store.update("k", "v1")
+        store.update("k", "v2")
+        assert store.get("k") == "v2"
+
+    def test_update_rejects_nil(self, store):
+        with pytest.raises(ValueError):
+            store.update("k", NIL)
+        with pytest.raises(ValueError):
+            store.update("k", None)
+
+    def test_update_rejects_bad_keys(self, store):
+        with pytest.raises(ValueError):
+            store.update(None, "v")
+        with pytest.raises(TypeError):
+            store.update(["bad"], "v")
+
+    def test_delete_hides_key_from_clients(self, store):
+        store.update("k", "v")
+        store.delete("k")
+        assert store.get("k") is None
+        assert "k" not in store
+        # ... but the certificate remains in the replication view.
+        assert store.entry("k") is not None
+        assert store.entry("k").is_deletion
+
+    def test_delete_records_retention_sites(self, store):
+        update = store.delete("k", retention_sites=(3, 7))
+        assert update.entry.retention_sites == (3, 7)
+
+    def test_visible_items_skip_deletions(self, store):
+        store.update("a", 1)
+        store.update("b", 2)
+        store.delete("a")
+        assert dict(store.visible_items()) == {"b": 2}
+        assert store.visible_count() == 1
+        assert len(store) == 2
+
+
+class TestApplyEntry:
+    def test_new_entry_applied(self, store):
+        result = store.apply_entry("k", VersionedValue("v", ts(1)))
+        assert result is ApplyResult.APPLIED
+        assert result.was_news
+        assert store.get("k") == "v"
+
+    def test_newer_entry_supersedes(self, store):
+        store.apply_entry("k", VersionedValue("old", ts(1)))
+        result = store.apply_entry("k", VersionedValue("new", ts(2)))
+        assert result is ApplyResult.APPLIED
+        assert store.get("k") == "new"
+
+    def test_stale_entry_rejected(self, store):
+        store.apply_entry("k", VersionedValue("new", ts(2)))
+        result = store.apply_entry("k", VersionedValue("old", ts(1)))
+        assert result is ApplyResult.STALE
+        assert not result.was_news
+        assert store.get("k") == "new"
+
+    def test_equal_entry_is_noop(self, store):
+        entry = VersionedValue("v", ts(1))
+        store.apply_entry("k", entry)
+        assert store.apply_entry("k", entry) is ApplyResult.EQUAL
+
+    def test_certificate_cancels_older_value(self, store):
+        store.apply_entry("k", VersionedValue("v", ts(1)))
+        cert = DeathCertificate(ts(2), ts(2))
+        assert store.apply_entry("k", cert) is ApplyResult.APPLIED
+        assert store.get("k") is None
+
+    def test_newer_value_beats_certificate(self, store):
+        store.apply_entry("k", DeathCertificate(ts(2), ts(2)))
+        result = store.apply_entry("k", VersionedValue("reinstated", ts(3)))
+        assert result is ApplyResult.APPLIED
+        assert store.get("k") == "reinstated"
+
+    def test_reactivation_adopted_for_same_certificate(self, store):
+        cert = DeathCertificate(ts(2.0), ts(2.0))
+        store.apply_entry("k", cert)
+        awakened = cert.reactivated(now=9.0)
+        result = store.apply_entry("k", awakened)
+        assert result is ApplyResult.REACTIVATED
+        assert store.entry("k").activation_timestamp.time == 9.0
+
+    def test_older_activation_not_adopted(self, store):
+        cert = DeathCertificate(ts(2.0), ts(2.0))
+        awakened = cert.reactivated(now=9.0)
+        store.apply_entry("k", awakened)
+        assert store.apply_entry("k", cert) is ApplyResult.EQUAL
+        assert store.entry("k").activation_timestamp.time == 9.0
+
+
+class TestDormantCertificates:
+    def _store_with_dormant_cert(self, retention_site: int = 0):
+        store = make_store(retention_site)
+        store.update("k", "v")
+        store.delete("k", retention_sites=(retention_site,))
+        # Age past tau1 so the sweep makes the certificate dormant.
+        for __ in range(20):
+            store.clock.next_timestamp()
+        stats = store.sweep_certificates(tau1=5.0, tau2=1000.0)
+        assert stats.made_dormant == 1
+        return store
+
+    def test_sweep_moves_certificate_to_dormant(self):
+        store = self._store_with_dormant_cert()
+        assert store.entry("k") is None
+        assert store.dormant_certificate("k") is not None
+        assert store.dormant_count() == 1
+
+    def test_sweep_drops_certificate_at_non_retention_site(self):
+        store = make_store(5)
+        store.delete("k", retention_sites=(1, 2))
+        for __ in range(20):
+            store.clock.next_timestamp()
+        stats = store.sweep_certificates(tau1=5.0, tau2=1000.0)
+        assert stats.expired == 1
+        assert stats.made_dormant == 0
+        assert store.dormant_count() == 0
+
+    def test_obsolete_item_awakens_dormant_certificate(self):
+        store = self._store_with_dormant_cert()
+        obsolete = VersionedValue("zombie", ts(0.5))
+        result = store.apply_entry("k", obsolete)
+        assert result is ApplyResult.RESURRECTION_BLOCKED
+        assert store.get("k") is None
+        # The certificate is active again with a fresh activation stamp.
+        entry = store.entry("k")
+        assert entry.is_deletion
+        assert entry.activation_timestamp > entry.timestamp
+        assert store.dormant_certificate("k") is None
+
+    def test_reinstatement_clears_dormant_certificate(self):
+        store = self._store_with_dormant_cert()
+        newer = VersionedValue("back", ts(1e9))
+        assert store.apply_entry("k", newer) is ApplyResult.APPLIED
+        assert store.get("k") == "back"
+        assert store.dormant_certificate("k") is None
+
+    def test_newer_certificate_replaces_dormant(self):
+        store = self._store_with_dormant_cert()
+        newer_cert = DeathCertificate(ts(1e9), ts(1e9))
+        assert store.apply_entry("k", newer_cert) is ApplyResult.APPLIED
+        assert store.dormant_certificate("k") is None
+        assert store.entry("k") is newer_cert
+
+    def test_dormant_certificate_discarded_after_tau2(self):
+        store = self._store_with_dormant_cert()
+        for __ in range(50):
+            store.clock.next_timestamp()
+        stats = store.sweep_certificates(tau1=5.0, tau2=10.0)
+        assert stats.discarded_dormant == 1
+        assert store.dormant_count() == 0
+        # Resurrection now succeeds — the protection window has closed.
+        assert store.apply_entry("k", VersionedValue("zombie", ts(0.5))).was_news
+
+
+class TestChecksumInvariant:
+    def test_checksum_tracks_all_mutations(self, store):
+        assert store.checksum == store.recompute_checksum() == 0
+        store.update("a", 1)
+        assert store.checksum == store.recompute_checksum()
+        store.update("a", 2)
+        assert store.checksum == store.recompute_checksum()
+        store.delete("a")
+        assert store.checksum == store.recompute_checksum()
+        store.purge("a")
+        assert store.checksum == store.recompute_checksum() == 0
+
+    def test_equal_content_means_equal_checksum(self):
+        a = make_store(0)
+        b = make_store(1)
+        update = a.update("k", "v")
+        b.apply_entry(update.key, update.entry)
+        assert a.checksum == b.checksum
+
+    def test_checksum_ignores_activation_difference(self):
+        a = make_store(0)
+        b = make_store(1)
+        update = a.delete("k")
+        b.apply_entry(update.key, update.entry)
+        b.apply_entry(update.key, update.entry.reactivated(now=99.0))
+        assert a.checksum == b.checksum
+        assert a.agrees_with(b)
+
+
+class TestOrderedViews:
+    def test_updates_newest_first(self, store):
+        store.update("a", 1)
+        store.update("b", 2)
+        store.update("c", 3)
+        keys = [u.key for u in store.updates_newest_first()]
+        assert keys == ["c", "b", "a"]
+
+    def test_recent_updates_respects_tau(self):
+        store = make_store(0)
+        store.update("old", 1)       # time 1
+        for __ in range(10):
+            store.clock.next_timestamp()   # advance to 11
+        store.update("new", 2)       # time 12
+        recent = store.recent_updates(tau=3.0)
+        assert [u.key for u in recent] == ["new"]
+        everything = store.recent_updates(tau=1000.0)
+        assert {u.key for u in everything} == {"old", "new"}
+
+    def test_recent_updates_include_certificates(self):
+        store = make_store(0)
+        store.delete("gone")
+        recent = store.recent_updates(tau=100.0)
+        assert recent[0].entry.is_deletion
+
+
+class TestAgreement:
+    def test_agrees_with_self_copy(self):
+        a = make_store(0)
+        b = make_store(1)
+        for update in [a.update("x", 1), a.update("y", 2), a.delete("x")]:
+            b.apply_entry(update.key, update.entry)
+        assert a.agrees_with(b)
+        assert b.agrees_with(a)
+
+    def test_disagrees_on_extra_key(self):
+        a = make_store(0)
+        b = make_store(1)
+        a.update("x", 1)
+        assert not a.agrees_with(b)
+
+    def test_disagrees_on_different_value_timestamps(self):
+        a = make_store(0)
+        b = make_store(1)
+        a.update("x", 1)
+        b.update("x", 1)
+        assert not a.agrees_with(b)  # different sites, different stamps
+
+    def test_purge_missing_key_returns_false(self, store):
+        assert store.purge("ghost") is False

@@ -1,0 +1,115 @@
+"""Timestamps: total order, uniqueness, clocks (Section 1.1)."""
+
+import pytest
+
+from repro.core.timestamps import (
+    SequenceClock,
+    SimClock,
+    Timestamp,
+    is_strictly_increasing,
+    merge_max,
+)
+
+
+class TestTimestampOrdering:
+    def test_orders_by_time_first(self):
+        assert Timestamp(1.0, site=9, sequence=9) < Timestamp(2.0, site=0, sequence=0)
+
+    def test_ties_broken_by_site(self):
+        assert Timestamp(1.0, site=0, sequence=5) < Timestamp(1.0, site=1, sequence=0)
+
+    def test_ties_broken_by_sequence_last(self):
+        assert Timestamp(1.0, site=0, sequence=0) < Timestamp(1.0, site=0, sequence=1)
+
+    def test_equality_requires_all_fields(self):
+        assert Timestamp(1.0, 2, 3) == Timestamp(1.0, 2, 3)
+        assert Timestamp(1.0, 2, 3) != Timestamp(1.0, 2, 4)
+
+    def test_total_order_is_antisymmetric(self):
+        a = Timestamp(1.0, 0, 0)
+        b = Timestamp(1.0, 1, 0)
+        assert (a < b) != (b < a)
+
+    def test_min_sentinel_precedes_everything(self):
+        assert Timestamp.MIN < Timestamp(float("-1e300"), -1, 0)
+
+    def test_hashable_and_usable_as_dict_key(self):
+        d = {Timestamp(1.0, 0, 0): "x"}
+        assert d[Timestamp(1.0, 0, 0)] == "x"
+
+
+class TestTimestampOperations:
+    def test_advanced_to_moves_only_time(self):
+        stamp = Timestamp(1.0, site=3, sequence=7)
+        moved = stamp.advanced_to(42.0)
+        assert moved.time == 42.0
+        assert moved.site == 3
+        assert moved.sequence == 7
+
+    def test_age_relative_to_clock(self):
+        assert Timestamp(10.0).age(now=25.0) == 15.0
+
+    def test_encode_is_injective_on_distinct_stamps(self):
+        stamps = [Timestamp(t, s, q) for t in (1.0, 2.0) for s in (0, 1) for q in (0, 1)]
+        encodings = {stamp.encode() for stamp in stamps}
+        assert len(encodings) == len(stamps)
+
+    def test_merge_max_returns_largest(self):
+        a, b, c = Timestamp(1.0), Timestamp(3.0), Timestamp(2.0)
+        assert merge_max(a, b, c) == b
+
+    def test_merge_max_rejects_empty(self):
+        with pytest.raises(ValueError):
+            merge_max()
+
+
+class TestSequenceClock:
+    def test_stamps_strictly_increase(self):
+        clock = SequenceClock(site=1)
+        stamps = [clock.next_timestamp() for __ in range(20)]
+        assert is_strictly_increasing(iter(stamps))
+
+    def test_now_tracks_issued_time(self):
+        clock = SequenceClock()
+        assert clock.now() == 0.0
+        clock.next_timestamp()
+        assert clock.now() == 1.0
+
+    def test_two_clocks_never_collide(self):
+        a = SequenceClock(site=1)
+        b = SequenceClock(site=2)
+        stamps = [a.next_timestamp() for __ in range(10)]
+        stamps += [b.next_timestamp() for __ in range(10)]
+        assert len(set(stamps)) == 20
+
+
+class TestSimClock:
+    def test_follows_time_source(self):
+        time = [0.0]
+        clock = SimClock(site=0, time_source=lambda: time[0])
+        assert clock.now() == 0.0
+        time[0] = 5.0
+        assert clock.now() == 5.0
+
+    def test_skew_offsets_now(self):
+        clock = SimClock(site=0, time_source=lambda: 10.0, skew=0.25)
+        assert clock.now() == 10.25
+
+    def test_same_instant_stamps_are_unique_and_increasing(self):
+        clock = SimClock(site=0, time_source=lambda: 7.0)
+        stamps = [clock.next_timestamp() for __ in range(5)]
+        assert is_strictly_increasing(iter(stamps))
+        assert all(s.time == 7.0 for s in stamps)
+
+    def test_monotone_under_backwards_time_source(self):
+        time = [10.0]
+        clock = SimClock(site=0, time_source=lambda: time[0])
+        first = clock.next_timestamp()
+        time[0] = 5.0  # time source glitches backwards
+        second = clock.next_timestamp()
+        assert first < second
+
+    def test_clocks_at_different_sites_unique_at_same_instant(self):
+        a = SimClock(site=0, time_source=lambda: 1.0)
+        b = SimClock(site=1, time_source=lambda: 1.0)
+        assert a.next_timestamp() != b.next_timestamp()

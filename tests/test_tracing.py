@@ -1,0 +1,116 @@
+"""Epidemic tracing: S/I/R census and news logs."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.protocols.base import ExchangeMode
+from repro.protocols.direct_mail import DirectMailProtocol
+from repro.protocols.rumor import RumorConfig, RumorMongeringProtocol
+from repro.sim.tracing import EpidemicTracer, NewsLog
+
+
+def traced_cluster(n=200, k=3, seed=0, mode=ExchangeMode.PUSH):
+    cluster = Cluster(n=n, seed=seed)
+    rumor = RumorMongeringProtocol(RumorConfig(mode=mode, k=k))
+    tracer = EpidemicTracer(rumor, key="k")
+    cluster.add_protocol(rumor)
+    cluster.add_protocol(tracer)
+    return cluster, rumor, tracer
+
+
+class TestCensus:
+    def test_counts_partition_population(self):
+        cluster, rumor, tracer = traced_cluster()
+        cluster.inject_update(0, "k", "v")
+        cluster.run_cycles(5)
+        for census in tracer.history:
+            assert census.susceptible + census.infective + census.removed == 200
+            assert census.s + census.i + census.r == pytest.approx(1.0)
+
+    def test_initial_state_one_infective(self):
+        cluster, rumor, tracer = traced_cluster()
+        cluster.inject_update(0, "k", "v")
+        census = tracer.sample()
+        assert census.infective == 1
+        assert census.susceptible == 199
+        assert census.removed == 0
+
+    def test_epidemic_curve_shape(self):
+        """s decreases monotonically; i rises then falls to zero; the
+        removed fraction ends near 1 - residue."""
+        cluster, rumor, tracer = traced_cluster(seed=2)
+        cluster.inject_update(0, "k", "v", track=True)
+        cluster.run_until(lambda: not rumor.active, max_cycles=100)
+        s_values = [c.s for c in tracer.history]
+        assert all(a >= b for a, b in zip(s_values, s_values[1:]))
+        peak = tracer.peak_infective()
+        assert peak.infective > 1
+        final = tracer.final()
+        assert final.infective == 0
+        assert final.s == pytest.approx(cluster.metrics.residue, abs=1e-9)
+
+    def test_curve_matches_ode_residue(self):
+        """The stochastic endpoint lands near the ODE fixed point for
+        the feedback+coin variant."""
+        from repro.analysis.epidemic_theory import rumor_residue
+
+        cluster = Cluster(n=1000, seed=3)
+        rumor = RumorMongeringProtocol(
+            RumorConfig(mode=ExchangeMode.PUSH, feedback=True, counter=False, k=2)
+        )
+        tracer = EpidemicTracer(rumor, key="k")
+        cluster.add_protocol(rumor)
+        cluster.add_protocol(tracer)
+        cluster.inject_update(0, "k", "v")
+        cluster.run_until(lambda: not rumor.active, max_cycles=200)
+        assert tracer.final().s == pytest.approx(rumor_residue(2), abs=0.06)
+
+    def test_sample_before_history(self):
+        cluster, rumor, tracer = traced_cluster()
+        with pytest.raises(ValueError):
+            tracer.final()
+        with pytest.raises(ValueError):
+            tracer.peak_infective()
+
+    def test_curve_export(self):
+        cluster, rumor, tracer = traced_cluster()
+        cluster.inject_update(0, "k", "v")
+        cluster.run_cycles(3)
+        curve = tracer.curve()
+        assert len(curve) == 3
+        cycle, s, i, r = curve[0]
+        assert cycle == 1
+
+
+class TestNewsLog:
+    def test_records_first_deliveries(self):
+        cluster = Cluster(n=10, seed=4)
+        log = NewsLog()
+        cluster.add_protocol(log)
+        cluster.add_protocol(DirectMailProtocol())
+        cluster.inject_update(0, "k", "v")
+        cluster.run_cycle()
+        receipts = log.first_receipts("k")
+        assert set(receipts) == set(range(1, 10))
+        assert all(cycle == 1 for cycle in receipts.values())
+
+    def test_filters_by_key(self):
+        cluster = Cluster(n=5, seed=5)
+        log = NewsLog()
+        cluster.add_protocol(log)
+        cluster.add_protocol(DirectMailProtocol())
+        cluster.inject_update(0, "a", 1)
+        cluster.inject_update(1, "b", 2)
+        cluster.run_cycle()
+        assert all(e.key == "a" for e in log.events_for("a"))
+        assert len(log.events_for("a")) == 4
+
+    def test_capacity_bounds_memory(self):
+        cluster = Cluster(n=50, seed=6)
+        log = NewsLog(capacity=10)
+        cluster.add_protocol(log)
+        cluster.add_protocol(DirectMailProtocol())
+        cluster.inject_update(0, "k", "v")
+        cluster.run_cycle()
+        assert len(log.events) == 10
+        assert log.dropped == 39

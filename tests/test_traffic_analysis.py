@@ -1,0 +1,83 @@
+"""Per-link traffic scaling for d^-a on a line (Section 3)."""
+
+import math
+
+import pytest
+
+from repro.analysis.traffic import (
+    expected_mean_link_traffic,
+    line_traffic_class,
+    line_traffic_per_link,
+    theoretical_growth,
+)
+
+
+class TestExactComputation:
+    def test_two_sites(self):
+        loads = line_traffic_per_link(2, a=2.0)
+        assert loads == [pytest.approx(2.0)]  # both sites cross the link
+
+    def test_load_conservation(self):
+        """Total link-crossings equal the expected sum of distances."""
+        n, a = 10, 1.5
+        loads = line_traffic_per_link(n, a)
+        expected_total = 0.0
+        for s in range(n):
+            weights = [
+                (abs(s - t)) ** (-a) if t != s else 0.0 for t in range(n)
+            ]
+            total_weight = sum(weights)
+            expected_total += sum(
+                w / total_weight * abs(s - t) for t, w in enumerate(weights)
+            )
+        assert sum(loads) == pytest.approx(expected_total)
+
+    def test_middle_links_busiest(self):
+        loads = line_traffic_per_link(20, a=1.0)
+        middle = loads[len(loads) // 2]
+        assert middle > loads[0]
+        assert middle > loads[-1]
+
+    def test_requires_two_sites(self):
+        with pytest.raises(ValueError):
+            line_traffic_per_link(1, a=2.0)
+
+
+class TestScalingClasses:
+    def test_class_labels(self):
+        assert line_traffic_class(0.5) == "O(n)"
+        assert line_traffic_class(1.0) == "O(n/log n)"
+        assert line_traffic_class(1.5) == "O(n^0.5)"
+        assert line_traffic_class(2.0) == "O(log n)"
+        assert line_traffic_class(3.0) == "O(1)"
+
+    @pytest.mark.parametrize(
+        "a", [0.5, 1.5, 2.0, 3.0]
+    )
+    def test_measured_growth_tracks_predicted_class(self, a):
+        """mean link traffic ratio between n=200 and n=50 should match
+        the predicted growth class within a modest factor."""
+        small = expected_mean_link_traffic(50, a)
+        large = expected_mean_link_traffic(200, a)
+        measured_ratio = large / small
+        predicted_ratio = theoretical_growth(200, a) / theoretical_growth(50, a)
+        assert measured_ratio == pytest.approx(predicted_ratio, rel=0.5)
+
+    def test_uniform_grows_linearly(self):
+        # a=0 is uniform selection: traffic per link ~ O(n).
+        small = expected_mean_link_traffic(40, 0.0)
+        large = expected_mean_link_traffic(160, 0.0)
+        assert large / small == pytest.approx(4.0, rel=0.2)
+
+    def test_a3_traffic_bounded(self):
+        values = [expected_mean_link_traffic(n, 3.0) for n in (25, 50, 100, 200)]
+        assert max(values) / min(values) < 1.7
+
+    def test_ordering_at_fixed_n(self):
+        """Tighter distributions always generate less link traffic."""
+        values = [expected_mean_link_traffic(100, a) for a in (0.0, 1.0, 2.0, 3.0)]
+        assert values == sorted(values, reverse=True)
+
+    def test_theoretical_growth_validates(self):
+        with pytest.raises(ValueError):
+            theoretical_growth(1, 2.0)

@@ -1,0 +1,104 @@
+"""Connection limits, rejection and hunting (Section 1.4)."""
+
+import random
+
+import pytest
+
+from repro.sim.transport import ConnectionLedger, ConnectionPolicy, UNLIMITED
+
+
+class TestConnectionPolicy:
+    def test_unlimited_default(self):
+        assert UNLIMITED.unlimited
+        assert UNLIMITED.hunt_limit == 0
+
+    def test_rejects_zero_limit(self):
+        with pytest.raises(ValueError):
+            ConnectionPolicy(connection_limit=0)
+
+    def test_rejects_negative_hunt(self):
+        with pytest.raises(ValueError):
+            ConnectionPolicy(connection_limit=1, hunt_limit=-1)
+
+
+class TestLedger:
+    def test_unlimited_accepts_everything(self):
+        ledger = ConnectionLedger(UNLIMITED)
+        assert all(ledger.try_connect(7) for __ in range(100))
+        assert ledger.rejections == 0
+
+    def test_limit_one_rejects_second_connection(self):
+        ledger = ConnectionLedger(ConnectionPolicy(connection_limit=1))
+        assert ledger.try_connect(7)
+        assert not ledger.try_connect(7)
+        assert ledger.rejections == 1
+        assert ledger.accepted_by(7) == 1
+
+    def test_limit_is_per_target(self):
+        ledger = ConnectionLedger(ConnectionPolicy(connection_limit=1))
+        assert ledger.try_connect(7)
+        assert ledger.try_connect(8)
+
+    def test_limit_two(self):
+        ledger = ConnectionLedger(ConnectionPolicy(connection_limit=2))
+        assert ledger.try_connect(7)
+        assert ledger.try_connect(7)
+        assert not ledger.try_connect(7)
+
+    def test_reset_restores_capacity(self):
+        ledger = ConnectionLedger(ConnectionPolicy(connection_limit=1))
+        ledger.try_connect(7)
+        ledger.reset()
+        assert ledger.try_connect(7)
+
+    def test_attempt_counter(self):
+        ledger = ConnectionLedger(ConnectionPolicy(connection_limit=1))
+        ledger.try_connect(7)
+        ledger.try_connect(7)
+        assert ledger.attempts == 2
+
+
+class TestHunting:
+    def test_no_hunting_gives_up_after_first_rejection(self):
+        ledger = ConnectionLedger(ConnectionPolicy(connection_limit=1, hunt_limit=0))
+        ledger.try_connect(7)
+        partner = ledger.connect_with_hunting(lambda s: 7, initiator=0)
+        assert partner is None
+
+    def test_hunting_retries_other_partners(self):
+        ledger = ConnectionLedger(ConnectionPolicy(connection_limit=1, hunt_limit=3))
+        ledger.try_connect(7)  # 7 is busy
+        candidates = iter([7, 7, 8])
+        partner = ledger.connect_with_hunting(lambda s: next(candidates), initiator=0)
+        assert partner == 8
+
+    def test_hunting_respects_limit(self):
+        ledger = ConnectionLedger(ConnectionPolicy(connection_limit=1, hunt_limit=2))
+        ledger.try_connect(7)
+        attempts = []
+
+        def chooser(s):
+            attempts.append(s)
+            return 7
+
+        assert ledger.connect_with_hunting(chooser, initiator=0) is None
+        assert len(attempts) == 3  # initial try + 2 hunts
+
+    def test_chooser_returning_none_aborts(self):
+        ledger = ConnectionLedger(ConnectionPolicy(connection_limit=1, hunt_limit=5))
+        assert ledger.connect_with_hunting(lambda s: None, initiator=0) is None
+
+    def test_infinite_hunt_limit_approximates_permutation(self):
+        # Connection limit 1 with a generous hunt limit: all initiators
+        # find distinct partners (the paper's permutation observation).
+        rng = random.Random(1)
+        n = 30
+        ledger = ConnectionLedger(ConnectionPolicy(connection_limit=1, hunt_limit=500))
+        partners = []
+        for initiator in range(n):
+            partner = ledger.connect_with_hunting(
+                lambda s: rng.randrange(n), initiator
+            )
+            partners.append(partner)
+        assert None not in partners
+        assert len(set(partners)) == n

@@ -1,0 +1,123 @@
+"""The inverted timestamp index backing recent-update lists and peel back."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.timestamps import Timestamp
+from repro.core.tsindex import TimestampIndex
+
+
+def ts(t: float, site: int = 0, seq: int = 0) -> Timestamp:
+    return Timestamp(t, site, seq)
+
+
+class TestBasics:
+    def test_empty(self):
+        index = TimestampIndex()
+        assert len(index) == 0
+        assert list(index.newest_first()) == []
+        assert index.oldest() is None
+
+    def test_set_and_lookup(self):
+        index = TimestampIndex()
+        index.set("a", ts(1))
+        assert "a" in index
+        assert index.timestamp_of("a") == ts(1)
+
+    def test_newest_first_order(self):
+        index = TimestampIndex()
+        index.set("a", ts(1))
+        index.set("b", ts(3))
+        index.set("c", ts(2))
+        assert [k for k, __ in index.newest_first()] == ["b", "c", "a"]
+
+    def test_overwrite_moves_key(self):
+        index = TimestampIndex()
+        index.set("a", ts(1))
+        index.set("b", ts(2))
+        index.set("a", ts(3))
+        assert [k for k, __ in index.newest_first()] == ["a", "b"]
+        assert len(index) == 2
+
+    def test_discard(self):
+        index = TimestampIndex()
+        index.set("a", ts(1))
+        index.discard("a")
+        assert "a" not in index
+        assert list(index.newest_first()) == []
+
+    def test_discard_missing_is_noop(self):
+        index = TimestampIndex()
+        index.discard("ghost")
+        assert len(index) == 0
+
+    def test_oldest(self):
+        index = TimestampIndex()
+        index.set("a", ts(5))
+        index.set("b", ts(2))
+        assert index.oldest() == ("b", ts(2))
+
+    def test_newer_than_cutoff(self):
+        index = TimestampIndex()
+        for i in range(10):
+            index.set(i, ts(float(i)))
+        newer = list(index.newer_than(ts(6.0)))
+        assert [k for k, __ in newer] == [9, 8, 7]
+
+    def test_mixed_key_types_with_equal_timestamps(self):
+        # int and str keys at the same timestamp must not raise on
+        # comparison inside the sorted structure.
+        index = TimestampIndex()
+        index.set(1, ts(1.0))
+        index.set("one", ts(1.0))
+        index.set((2, "t"), ts(1.0))
+        assert len(list(index.newest_first())) == 3
+
+
+class TestCompaction:
+    def test_heavy_churn_stays_correct(self):
+        index = TimestampIndex()
+        for round_number in range(30):
+            for key in range(20):
+                index.set(key, ts(float(round_number * 20 + key)))
+        assert len(index) == 20
+        keys = [k for k, __ in index.newest_first()]
+        assert keys == list(range(19, -1, -1))
+
+    def test_discard_churn(self):
+        index = TimestampIndex()
+        for i in range(200):
+            index.set(i % 10, ts(float(i)))
+            if i % 3 == 0:
+                index.discard(i % 10)
+        survivors = [k for k, __ in index.newest_first()]
+        assert len(survivors) == len(set(survivors))
+
+
+class TestIndexProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["set", "discard"]),
+                st.integers(0, 8),
+                st.floats(0, 100, allow_nan=False),
+            ),
+            max_size=80,
+        )
+    )
+    def test_model_conformance(self, operations):
+        """The index behaves like a dict plus sorting."""
+        index = TimestampIndex()
+        model: dict = {}
+        seq = 0
+        for op, key, time in operations:
+            if op == "set":
+                stamp = ts(time, seq=seq)
+                seq += 1
+                index.set(key, stamp)
+                model[key] = stamp
+            else:
+                index.discard(key)
+                model.pop(key, None)
+        assert len(index) == len(model)
+        expected = sorted(model.items(), key=lambda kv: kv[1], reverse=True)
+        assert list(index.newest_first()) == expected
