@@ -1,0 +1,38 @@
+"""Live cluster: the paper's protocols over real TCP sockets.
+
+Boots five asyncio gossip nodes on ephemeral localhost ports, injects
+one update over the wire, kills a node mid-epidemic, and shows
+anti-entropy catching the restarted (empty) replica back up — the
+Section 1.5 recovery story, running on a real network stack instead of
+the simulator.
+
+Run:  python examples/live_cluster.py
+See:  docs/live_runtime.md
+"""
+
+import asyncio
+
+from repro.net.node import NodeConfig
+from repro.net.runner import live_demo
+
+
+def main() -> None:
+    config = NodeConfig(anti_entropy_interval=0.05, rumor_interval=0.02)
+    report = asyncio.run(
+        live_demo(nodes=5, config=config, churn=True, timeout=30.0)
+    )
+
+    print("five gossip nodes on localhost TCP, one update, one crash:\n")
+    for line in report.lines():
+        print(f"  {line}")
+    print()
+    assert report.converged
+    print(
+        f"live cluster converged in {report.wall_seconds:.2f}s "
+        f"(t_last={report.t_last:.3f}s) despite losing node "
+        f"{report.churned_node} mid-run"
+    )
+
+
+if __name__ == "__main__":
+    main()

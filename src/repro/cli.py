@@ -1,4 +1,5 @@
-"""Command-line interface: regenerate any paper table or figure.
+"""Command-line interface: regenerate any paper table or figure, or run
+the live gossip runtime.
 
     python -m repro table1 --runs 50
     python -m repro table4 --runs 250
@@ -6,8 +7,14 @@
     python -m repro tau
     python -m repro all --runs 10
 
-Each subcommand prints the measured table next to the paper's values
-(where the paper gives absolute numbers).
+    python -m repro live-demo --nodes 8          # N asyncio nodes on localhost
+    python -m repro live-demo --nodes 8 --churn  # kill + restart one mid-run
+    python -m repro node --config roster.json --id 3
+
+Each experiment subcommand prints the measured table next to the
+paper's values (where the paper gives absolute numbers); ``live-demo``
+prints measured convergence delay (t_ave, t_last) and per-site traffic
+over real TCP sockets (see docs/live_runtime.md).
 """
 
 from __future__ import annotations
@@ -208,6 +215,54 @@ def cmd_hierarchy(args) -> None:
     print()
 
 
+def _node_config(args):
+    from repro.net.node import NodeConfig
+    from repro.protocols.base import ExchangeMode
+
+    return NodeConfig(
+        anti_entropy_interval=args.interval,
+        rumor_interval=max(args.interval / 4.0, 0.01),
+        mode=ExchangeMode(args.mode),
+        strategy=args.strategy,
+        tau=args.tau,
+        selector=args.selector,
+    )
+
+
+def cmd_live_demo(args) -> None:
+    import asyncio
+
+    from repro.net.runner import live_demo
+
+    report = asyncio.run(
+        live_demo(
+            nodes=args.nodes,
+            config=_node_config(args),
+            churn=args.churn,
+            timeout=args.time_limit,
+        )
+    )
+    print("live demo: one update through a real TCP gossip cluster")
+    print("\n".join(report.lines()))
+    if not report.converged:
+        raise SystemExit(1)
+
+
+def cmd_node(args) -> None:
+    import asyncio
+
+    from repro.net.runner import serve_node
+
+    if args.config is None or args.id is None:
+        print("error: 'node' requires --config and --id", file=sys.stderr)
+        raise SystemExit(2)
+    try:
+        asyncio.run(serve_node(args.config, args.id, _node_config(args)))
+    except KeyboardInterrupt:
+        pass
+
+
+#: Paper experiments: included in ``all`` and driven by --runs/--n.
 COMMANDS: Dict[str, Callable] = {
     "table1": cmd_table1,
     "table2": cmd_table2,
@@ -222,17 +277,24 @@ COMMANDS: Dict[str, Callable] = {
     "hierarchy": cmd_hierarchy,
 }
 
+#: Live-runtime commands: not experiments, so excluded from ``all``.
+LIVE_COMMANDS: Dict[str, Callable] = {
+    "live-demo": cmd_live_demo,
+    "node": cmd_node,
+}
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate tables and figures from 'Epidemic Algorithms "
-        "for Replicated Database Maintenance' (PODC 1987).",
+        "for Replicated Database Maintenance' (PODC 1987), or run the live "
+        "asyncio gossip runtime (live-demo, node).",
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(COMMANDS) + ["all"],
-        help="which experiment to run ('all' runs every one)",
+        choices=sorted(COMMANDS) + sorted(LIVE_COMMANDS) + ["all"],
+        help="which experiment to run ('all' runs every simulator one)",
     )
     parser.add_argument(
         "--runs", type=int, default=10,
@@ -241,6 +303,47 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--n", type=int, default=1000,
         help="population for the uniform-network tables (default 1000)",
+    )
+    live = parser.add_argument_group("live runtime (live-demo, node)")
+    live.add_argument(
+        "--nodes", type=int, default=8,
+        help="cluster size for live-demo (default 8)",
+    )
+    live.add_argument(
+        "--churn", action="store_true",
+        help="live-demo: kill one node mid-run and restart it empty",
+    )
+    live.add_argument(
+        "--interval", type=float, default=0.2,
+        help="anti-entropy period in seconds (default 0.2)",
+    )
+    live.add_argument(
+        "--mode", choices=["push", "pull", "push-pull"], default="push-pull",
+        help="anti-entropy exchange mode (default push-pull)",
+    )
+    live.add_argument(
+        "--strategy", choices=["full", "checksum"], default="full",
+        help="difference-resolution strategy (default full)",
+    )
+    live.add_argument(
+        "--tau", type=float, default=30.0,
+        help="recent-update window for --strategy checksum (seconds)",
+    )
+    live.add_argument(
+        "--selector", default="uniform",
+        help="partner selection: 'uniform' or 'spatial:<a>' (default uniform)",
+    )
+    live.add_argument(
+        "--time-limit", type=float, default=30.0,
+        help="live-demo convergence timeout in seconds (default 30)",
+    )
+    live.add_argument(
+        "--config", default=None,
+        help="node: path to the membership roster (.json or .toml)",
+    )
+    live.add_argument(
+        "--id", type=int, default=None,
+        help="node: this node's id in the roster",
     )
     return parser
 
@@ -258,6 +361,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             for name in sorted(COMMANDS):
                 print(f"=== {name} ===")
                 COMMANDS[name](args)
+        elif args.experiment in LIVE_COMMANDS:
+            try:
+                LIVE_COMMANDS[args.experiment](args)
+            except ValueError as error:
+                # Bad roster / cluster size / selector spec: a config
+                # problem, not a crash (MembershipError is a ValueError).
+                print(f"error: {error}", file=sys.stderr)
+                return 2
         else:
             COMMANDS[args.experiment](args)
     except BrokenPipeError:

@@ -11,6 +11,12 @@ Values are passed through as-is: they must themselves be JSON
 compatible (the name-service records provide ``to_payload`` shapes via
 their dataclass fields if needed; plain strings/numbers/dicts always
 work).  Timestamps round-trip exactly.
+
+Because these payloads also cross the network (``repro.net.wire``
+frames carry them between gossip nodes), decoding is strict: anything
+malformed — unknown ``kind``, missing or ill-typed fields — raises
+:class:`SerializeError` rather than leaking a bare ``KeyError`` from
+peer-supplied bytes.
 """
 
 from __future__ import annotations
@@ -24,14 +30,39 @@ from repro.core.timestamps import Timestamp
 FORMAT_VERSION = 1
 
 
+class SerializeError(ValueError):
+    """A payload could not be decoded.
+
+    Raised for unknown entry kinds, missing fields, ill-typed fields and
+    unsupported dump versions.  Subclasses :class:`ValueError` so callers
+    that guarded against the old behavior keep working.
+    """
+
+
+def _require(payload: Any, field: str, context: str) -> Any:
+    if not isinstance(payload, dict):
+        raise SerializeError(f"{context}: expected an object, got {type(payload).__name__}")
+    try:
+        return payload[field]
+    except KeyError:
+        raise SerializeError(f"{context}: missing field {field!r}") from None
+
+
 def encode_timestamp(stamp: Timestamp) -> Dict[str, Any]:
     return {"time": stamp.time, "site": stamp.site, "seq": stamp.sequence}
 
 
 def decode_timestamp(payload: Dict[str, Any]) -> Timestamp:
-    return Timestamp(
-        time=payload["time"], site=payload["site"], sequence=payload["seq"]
-    )
+    time = _require(payload, "time", "timestamp")
+    site = _require(payload, "site", "timestamp")
+    seq = _require(payload, "seq", "timestamp")
+    if not isinstance(time, (int, float)) or isinstance(time, bool):
+        raise SerializeError(f"timestamp: time must be a number, got {time!r}")
+    if not isinstance(site, int) or isinstance(site, bool):
+        raise SerializeError(f"timestamp: site must be an integer, got {site!r}")
+    if not isinstance(seq, int) or isinstance(seq, bool):
+        raise SerializeError(f"timestamp: seq must be an integer, got {seq!r}")
+    return Timestamp(time=time, site=site, sequence=seq)
 
 
 def encode_entry(entry: Entry) -> Dict[str, Any]:
@@ -50,19 +81,32 @@ def encode_entry(entry: Entry) -> Dict[str, Any]:
 
 
 def decode_entry(payload: Dict[str, Any]) -> Entry:
-    kind = payload.get("kind")
+    kind = _require(payload, "kind", "entry")
     if kind == "certificate":
+        retention = _require(payload, "retention", "certificate")
+        if not isinstance(retention, (list, tuple)) or not all(
+            isinstance(site, int) and not isinstance(site, bool) for site in retention
+        ):
+            raise SerializeError(
+                f"certificate: retention must be a list of site ids, got {retention!r}"
+            )
+        timestamp = decode_timestamp(_require(payload, "timestamp", "certificate"))
+        activation = decode_timestamp(_require(payload, "activation", "certificate"))
+        if activation < timestamp:
+            raise SerializeError(
+                "certificate: activation timestamp precedes the ordinary timestamp"
+            )
         return DeathCertificate(
-            timestamp=decode_timestamp(payload["timestamp"]),
-            activation_timestamp=decode_timestamp(payload["activation"]),
-            retention_sites=tuple(payload["retention"]),
+            timestamp=timestamp,
+            activation_timestamp=activation,
+            retention_sites=tuple(retention),
         )
     if kind == "value":
         return VersionedValue(
-            value=payload["value"],
-            timestamp=decode_timestamp(payload["timestamp"]),
+            value=_require(payload, "value", "value entry"),
+            timestamp=decode_timestamp(_require(payload, "timestamp", "value entry")),
         )
-    raise ValueError(f"unknown entry kind: {kind!r}")
+    raise SerializeError(f"unknown entry kind: {kind!r}")
 
 
 def encode_update(update: StoreUpdate) -> Dict[str, Any]:
@@ -70,7 +114,22 @@ def encode_update(update: StoreUpdate) -> Dict[str, Any]:
 
 
 def decode_update(payload: Dict[str, Any]) -> StoreUpdate:
-    return StoreUpdate(key=payload["key"], entry=decode_entry(payload["entry"]))
+    key = _require(payload, "key", "update")
+    if key is None:
+        raise SerializeError("update: key must not be null")
+    return StoreUpdate(key=key, entry=decode_entry(_require(payload, "entry", "update")))
+
+
+def encode_updates(updates: Iterable[StoreUpdate]) -> List[Dict[str, Any]]:
+    return [encode_update(update) for update in updates]
+
+
+def decode_updates(payload: Any) -> List[StoreUpdate]:
+    if not isinstance(payload, list):
+        raise SerializeError(
+            f"update list: expected an array, got {type(payload).__name__}"
+        )
+    return [decode_update(item) for item in payload]
 
 
 def dump_store(store: ReplicaStore) -> Dict[str, Any]:
@@ -103,19 +162,19 @@ def load_store(payload: Dict[str, Any], store: ReplicaStore) -> int:
     checkpoint can safely be loaded into a store that has since seen
     newer updates.
     """
-    version = payload.get("version")
+    version = _require(payload, "version", "store dump")
     if version != FORMAT_VERSION:
-        raise ValueError(f"unsupported dump version: {version!r}")
+        raise SerializeError(f"unsupported dump version: {version!r}")
     applied = 0
-    for item in payload["entries"]:
-        entry = decode_entry(item["entry"])
-        if store.apply_entry(item["key"], entry).was_news:
+    for item in _require(payload, "entries", "store dump"):
+        update = decode_update(item)
+        if store.apply_entry(update.key, update.entry).was_news:
             applied += 1
-    for item in payload["dormant"]:
-        certificate = decode_entry(item["entry"])
+    for item in _require(payload, "dormant", "store dump"):
+        certificate = decode_update(item)
         # A dormant certificate re-enters through the normal apply path
         # and will be re-expired by the next sweep.
-        if store.apply_entry(item["key"], certificate).was_news:
+        if store.apply_entry(certificate.key, certificate.entry).was_news:
             applied += 1
     return applied
 

@@ -1,0 +1,253 @@
+"""The static peer roster a gossip node is configured with.
+
+The paper's Clearinghouse assumed every site knows the (slowly
+changing) replica set; the live runtime mirrors that with a roster
+loaded from a JSON or TOML config file.  Each node entry carries the
+node/site id, the TCP address, and a scalar *position* from which
+pairwise topology distances are derived — enough to drive the
+Section 3 spatial partner distributions without shipping a full graph.
+
+JSON::
+
+    {"version": 1,
+     "nodes": [{"id": 0, "host": "127.0.0.1", "port": 9100, "position": 0.0},
+               {"id": 1, "host": "127.0.0.1", "port": 9101, "position": 1.0}]}
+
+TOML::
+
+    version = 1
+    [[nodes]]
+    id = 0
+    host = "127.0.0.1"
+    port = 9100
+    position = 0.0
+
+Positions default to the node's index, which lays the cluster out on a
+line — the topology of the paper's Section 3.1 analysis.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+import json
+import pathlib
+from typing import Any, Dict, Iterator, List, Sequence, Tuple
+
+from repro.topology.spatial import (
+    PartnerSelector,
+    SortedListSelector,
+    UniformSelector,
+)
+
+ROSTER_VERSION = 1
+
+
+class MembershipError(ValueError):
+    """A roster config is malformed or inconsistent."""
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class PeerInfo:
+    """One node's entry in the roster."""
+
+    node_id: int
+    host: str
+    port: int
+    position: float = 0.0
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    def __str__(self) -> str:
+        return f"node {self.node_id} @ {self.host}:{self.port}"
+
+
+class Membership:
+    """An immutable roster of :class:`PeerInfo` entries."""
+
+    def __init__(self, peers: Sequence[PeerInfo]):
+        if len(peers) < 1:
+            raise MembershipError("a roster needs at least one node")
+        self._peers: Dict[int, PeerInfo] = {}
+        for peer in peers:
+            if peer.node_id < 0:
+                raise MembershipError(f"negative node id: {peer.node_id}")
+            if peer.node_id in self._peers:
+                raise MembershipError(f"duplicate node id: {peer.node_id}")
+            self._peers[peer.node_id] = peer
+        self._ordered = sorted(self._peers.values(), key=lambda p: p.node_id)
+
+    # -- basic access ------------------------------------------------------
+
+    @property
+    def node_ids(self) -> List[int]:
+        return [peer.node_id for peer in self._ordered]
+
+    def __len__(self) -> int:
+        return len(self._ordered)
+
+    def __iter__(self) -> Iterator[PeerInfo]:
+        return iter(self._ordered)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._peers
+
+    def get(self, node_id: int) -> PeerInfo:
+        try:
+            return self._peers[node_id]
+        except KeyError:
+            raise MembershipError(f"node {node_id} is not in the roster") from None
+
+    def others(self, node_id: int) -> List[PeerInfo]:
+        self.get(node_id)  # validate
+        return [peer for peer in self._ordered if peer.node_id != node_id]
+
+    def distance(self, a: int, b: int) -> float:
+        """Topology distance between two roster nodes.
+
+        Derived from the scalar positions; distinct nodes are never
+        closer than 1 (a distance of 0 would blow up the ``d^-a``
+        weights).
+        """
+        if a == b:
+            return 0.0
+        gap = abs(self.get(a).position - self.get(b).position)
+        return max(gap, 1.0)
+
+    # -- selectors ---------------------------------------------------------
+
+    def selector(self, spec: str = "uniform") -> PartnerSelector:
+        """Build a partner selector over this roster.
+
+        ``"uniform"`` gives the paper's baseline; ``"spatial:<a>"``
+        (e.g. ``"spatial:2.0"``) gives the sorted-list spatial
+        distribution of equation (3.1.1) over the roster's positions.
+        """
+        if len(self) < 2:
+            raise MembershipError("partner selection needs at least two nodes")
+        if spec == "uniform":
+            return UniformSelector(self.node_ids)
+        if spec.startswith("spatial:"):
+            try:
+                a = float(spec.split(":", 1)[1])
+            except ValueError:
+                raise MembershipError(f"bad spatial exponent in {spec!r}") from None
+            return SortedListSelector(MembershipDistances(self), a=a)
+        raise MembershipError(f"unknown selector spec {spec!r}")
+
+    # -- serialization -----------------------------------------------------
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "version": ROSTER_VERSION,
+            "nodes": [
+                {"id": p.node_id, "host": p.host, "port": p.port, "position": p.position}
+                for p in self._ordered
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Any) -> "Membership":
+        if not isinstance(payload, dict):
+            raise MembershipError("roster config must be an object")
+        version = payload.get("version")
+        if version != ROSTER_VERSION:
+            raise MembershipError(f"unsupported roster version: {version!r}")
+        nodes = payload.get("nodes")
+        if not isinstance(nodes, list) or not nodes:
+            raise MembershipError("roster config needs a non-empty 'nodes' array")
+        peers = []
+        for index, node in enumerate(nodes):
+            if not isinstance(node, dict):
+                raise MembershipError(f"node entry {index} must be an object")
+            try:
+                node_id = node["id"]
+                host = node["host"]
+                port = node["port"]
+            except KeyError as error:
+                raise MembershipError(
+                    f"node entry {index} is missing field {error.args[0]!r}"
+                ) from None
+            position = node.get("position", float(index))
+            if not isinstance(node_id, int) or isinstance(node_id, bool):
+                raise MembershipError(f"node entry {index}: id must be an integer")
+            if not isinstance(host, str) or not host:
+                raise MembershipError(f"node entry {index}: host must be a string")
+            if not isinstance(port, int) or not 0 < port < 65536:
+                raise MembershipError(f"node entry {index}: bad port {port!r}")
+            if not isinstance(position, (int, float)) or isinstance(position, bool):
+                raise MembershipError(f"node entry {index}: position must be a number")
+            peers.append(
+                PeerInfo(node_id=node_id, host=host, port=port, position=float(position))
+            )
+        return cls(peers)
+
+    @classmethod
+    def load(cls, path: str | pathlib.Path) -> "Membership":
+        """Load a roster from a ``.json`` or ``.toml`` file."""
+        path = pathlib.Path(path)
+        try:
+            raw = path.read_bytes()
+        except OSError as error:
+            raise MembershipError(f"cannot read roster {path}: {error}") from None
+        if path.suffix == ".toml":
+            import tomllib
+
+            try:
+                payload = tomllib.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, tomllib.TOMLDecodeError) as error:
+                raise MembershipError(f"bad TOML in {path}: {error}") from None
+        else:
+            try:
+                payload = json.loads(raw)
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                raise MembershipError(f"bad JSON in {path}: {error}") from None
+        return cls.from_payload(payload)
+
+    def dump(self, path: str | pathlib.Path) -> None:
+        pathlib.Path(path).write_text(json.dumps(self.to_payload(), indent=2) + "\n")
+
+    @classmethod
+    def localhost(cls, ports: Sequence[int], host: str = "127.0.0.1") -> "Membership":
+        """A roster of ``len(ports)`` nodes on one machine, laid out on a
+        line (node ``i`` at position ``i``)."""
+        return cls(
+            [
+                PeerInfo(node_id=i, host=host, port=port, position=float(i))
+                for i, port in enumerate(ports)
+            ]
+        )
+
+
+class MembershipDistances:
+    """Adapter exposing roster distances through the interface the
+    spatial selectors expect (``others_by_distance`` / ``q``),
+    normally provided by :class:`repro.topology.distance.SiteDistances`."""
+
+    def __init__(self, membership: Membership):
+        self._membership = membership
+        self.sites = membership.node_ids
+        self._cache: Dict[int, Tuple[List[int], List[float]]] = {}
+
+    def _sorted_view(self, s: int) -> Tuple[List[int], List[float]]:
+        cached = self._cache.get(s)
+        if cached is not None:
+            return cached
+        pairs = sorted(
+            (self._membership.distance(s, other), other)
+            for other in self.sites
+            if other != s
+        )
+        view = ([site for __, site in pairs], [d for d, __ in pairs])
+        self._cache[s] = view
+        return view
+
+    def others_by_distance(self, s: int) -> Tuple[List[int], List[float]]:
+        return self._sorted_view(s)
+
+    def q(self, s: int, d: float) -> int:
+        """``Q_s(d)``: roster nodes within distance ``d`` of ``s``."""
+        __, dists = self._sorted_view(s)
+        return bisect.bisect_right(dists, d)

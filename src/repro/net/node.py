@@ -1,0 +1,574 @@
+"""The live gossip node: the paper's protocols over asyncio TCP.
+
+A :class:`GossipNode` owns one :class:`~repro.core.store.ReplicaStore`
+(timestamped by wall-clock time) and runs, concurrently:
+
+* an **inbound server** answering PUSH / PULL_REQUEST / CHECKSUM /
+  RUMOR / MAIL frames from peers;
+* a periodic **anti-entropy loop** — pick a partner (uniform or a
+  Section 3 spatial distribution over the roster), resolve differences
+  through the same :class:`~repro.protocols.exchange.ExchangeSession`
+  objects the simulator uses, with either the full-compare or the
+  checksum-plus-recent-updates strategy of Section 1.3;
+* a faster **rumor loop** — hot rumors are pushed to random partners,
+  and the ACK's was-news feedback drives the Section 1.4 counter: a
+  rumor goes cold after ``k`` unnecessary pushes.
+
+Busy-server behavior mirrors :mod:`repro.sim.transport`: a node refuses
+a conversation when ``connection_limit`` inbound conversations are
+already in flight (the refusal is an ``ACK {"rejected": true}``), and a
+refused initiator *hunts* — redraws partners up to ``hunt_limit`` more
+times.
+
+Nothing here re-implements merge semantics: entries are applied through
+``ReplicaStore.apply_entry`` via ``ExchangeSession``, so the live
+runtime and the simulator cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import random
+import socket
+import time
+from typing import Any, Dict, Hashable, List, Optional
+
+from repro.core.serialize import (
+    SerializeError,
+    encode_timestamp,
+    encode_updates,
+)
+from repro.core.store import ReplicaStore, StoreUpdate
+from repro.core.timestamps import SimClock
+from repro.net.membership import Membership, PeerInfo
+from repro.net.peer import InFlightBudget, Peer, PeerError, RetryPolicy
+from repro.net.wire import (
+    MAX_FRAME_BYTES,
+    Message,
+    MessageType,
+    WireError,
+    encode_message,
+    payload_updates,
+    read_message,
+)
+from repro.protocols.base import ExchangeMode
+from repro.protocols.exchange import ExchangeSession
+
+_MODES_BY_VALUE = {mode.value: mode for mode in ExchangeMode}
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class NodeConfig:
+    """Tunables for one gossip node.
+
+    Intervals are seconds of wall-clock time; ``tau`` (the recent-update
+    window for the checksum strategy) must comfortably exceed the
+    expected update-distribution time, exactly as in Section 1.3.
+    """
+
+    anti_entropy_interval: float = 0.2
+    rumor_interval: float = 0.05
+    mode: ExchangeMode = ExchangeMode.PUSH_PULL
+    strategy: str = "full"            # "full" | "checksum"
+    tau: float = 30.0
+    rumor_k: int = 2
+    connection_limit: int = 8         # inbound conversations in flight
+    hunt_limit: int = 2               # extra partner draws after a rejection
+    in_flight_limit: int = 4          # outbound conversations in flight
+    selector: str = "uniform"         # "uniform" | "spatial:<a>"
+    retry: RetryPolicy = RetryPolicy()
+    max_frame: int = MAX_FRAME_BYTES
+
+    def __post_init__(self) -> None:
+        if self.anti_entropy_interval <= 0 or self.rumor_interval <= 0:
+            raise ValueError("intervals must be positive")
+        if self.strategy not in ("full", "checksum"):
+            raise ValueError(f"unknown exchange strategy {self.strategy!r}")
+        if self.tau <= 0:
+            raise ValueError("tau must be positive")
+        if self.rumor_k < 1:
+            raise ValueError("rumor_k must be >= 1")
+        if self.connection_limit < 1:
+            raise ValueError("connection_limit must be >= 1")
+        if self.hunt_limit < 0:
+            raise ValueError("hunt_limit must be >= 0")
+
+
+@dataclasses.dataclass(slots=True)
+class NodeStats:
+    """Counters a node keeps about its own traffic.
+
+    ``received`` maps each key to the wall-clock moment this node first
+    learned news about it — the per-site receipt times from which the
+    demo harness computes the paper's ``t_ave``/``t_last`` delays.
+    """
+
+    frames_sent: Dict[str, int] = dataclasses.field(default_factory=dict)
+    frames_received: Dict[str, int] = dataclasses.field(default_factory=dict)
+    exchanges: int = 0               # anti-entropy conversations initiated
+    checksum_successes: int = 0      # exchanges settled without full compare
+    updates_shipped: int = 0         # entries sent to peers
+    updates_absorbed: int = 0        # news applied from peers
+    rumors_started: int = 0
+    rejections_in: int = 0           # conversations this node refused
+    rejections_out: int = 0          # refusals this node received
+    hunts: int = 0                   # extra partner draws after refusals
+    peer_failures: int = 0           # conversations dead after all retries
+    received: Dict[Hashable, float] = dataclasses.field(default_factory=dict)
+
+    def count_sent(self, kind: MessageType, n: int = 1) -> None:
+        self.frames_sent[kind.value] = self.frames_sent.get(kind.value, 0) + n
+
+    def count_received(self, kind: MessageType, n: int = 1) -> None:
+        self.frames_received[kind.value] = self.frames_received.get(kind.value, 0) + n
+
+    @property
+    def frames_sent_total(self) -> int:
+        return sum(self.frames_sent.values())
+
+    @property
+    def frames_received_total(self) -> int:
+        return sum(self.frames_received.values())
+
+
+@dataclasses.dataclass(slots=True)
+class _HotRumor:
+    """Per-node state for one hot rumor (feedback + counter, Section 1.4)."""
+
+    update: StoreUpdate
+    counter: int = 0
+
+
+class GossipNode:
+    """One networked replica: store + server + gossip loops."""
+
+    def __init__(
+        self,
+        node_id: int,
+        membership: Membership,
+        config: NodeConfig = NodeConfig(),
+        seed: Optional[int] = None,
+    ):
+        self.info: PeerInfo = membership.get(node_id)
+        self.node_id = node_id
+        self.membership = membership
+        self.config = config
+        self.store = ReplicaStore(
+            site_id=node_id, clock=SimClock(site=node_id, time_source=time.time)
+        )
+        self.peers: Dict[int, Peer] = {
+            peer.node_id: Peer(peer, config.retry)
+            for peer in membership.others(node_id)
+        }
+        self._selector = membership.selector(config.selector) if len(membership) > 1 else None
+        self._rng = random.Random(seed if seed is not None else node_id)
+        self._budget = InFlightBudget(config.in_flight_limit)
+        self._hot: Dict[Hashable, _HotRumor] = {}
+        self._inbound_active = 0
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._tasks: List[asyncio.Task] = []
+        self.stats = NodeStats()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self, sock: Optional[socket.socket] = None) -> None:
+        """Bind the server (on the roster address, or a pre-bound
+        socket) and start the gossip loops."""
+        if self._server is not None:
+            raise RuntimeError(f"node {self.node_id} is already running")
+        if sock is not None:
+            self._server = await asyncio.start_server(self._serve, sock=sock)
+        else:
+            self._server = await asyncio.start_server(
+                self._serve, self.info.host, self.info.port
+            )
+        self._tasks = [
+            asyncio.create_task(
+                self._periodic(self.config.anti_entropy_interval, self.run_anti_entropy_once),
+                name=f"node{self.node_id}-anti-entropy",
+            ),
+            asyncio.create_task(
+                self._periodic(self.config.rumor_interval, self.run_rumor_once),
+                name=f"node{self.node_id}-rumor",
+            ),
+        ]
+
+    async def stop(self) -> None:
+        """Stop loops, close the server and all outbound connections."""
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._tasks = []
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for peer in self.peers.values():
+            await peer.close()
+
+    @property
+    def running(self) -> bool:
+        return self._server is not None
+
+    @property
+    def port(self) -> int:
+        """The actually bound port (useful with ephemeral sockets)."""
+        if self._server is None or not self._server.sockets:
+            return self.info.port
+        return self._server.sockets[0].getsockname()[1]
+
+    async def _periodic(self, interval: float, step) -> None:
+        while True:
+            # Jitter desynchronizes the loops across nodes, like the
+            # independent per-site timers of the paper's model.
+            await asyncio.sleep(interval * (0.5 + self._rng.random()))
+            try:
+                await step()
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                # A single failed conversation must never kill the loop;
+                # failures are already counted in stats.
+                pass
+
+    # ------------------------------------------------------------------
+    # Client operations
+    # ------------------------------------------------------------------
+
+    def inject(self, key: Hashable, value: Any) -> StoreUpdate:
+        """A client write at this node; becomes a hot rumor."""
+        update = self.store.update(key, value)
+        self._note_news([update])
+        self._make_hot(update)
+        return update
+
+    def delete(self, key: Hashable) -> StoreUpdate:
+        update = self.store.delete(key)
+        self._note_news([update])
+        self._make_hot(update)
+        return update
+
+    # ------------------------------------------------------------------
+    # Outbound: anti-entropy
+    # ------------------------------------------------------------------
+
+    async def run_anti_entropy_once(self) -> bool:
+        """One anti-entropy round: pick a partner (hunting past
+        refusals) and resolve differences.  True when an exchange ran."""
+        if self._selector is None:
+            return False
+        for attempt in range(self.config.hunt_limit + 1):
+            if attempt:
+                self.stats.hunts += 1
+            partner_id = self._selector.choose(self.node_id, self._rng)
+            peer = self.peers[partner_id]
+            try:
+                async with self._budget:
+                    accepted = await self._anti_entropy_with(peer)
+            except (PeerError, WireError):
+                self.stats.peer_failures += 1
+                continue  # partner down: hunt for another, like a busy site
+            if accepted:
+                self.stats.exchanges += 1
+                return True
+            self.stats.rejections_out += 1
+        return False
+
+    async def _anti_entropy_with(self, peer: Peer) -> bool:
+        """Returns False when the partner refused the conversation."""
+        mode = self.config.mode
+        if self.config.strategy == "checksum":
+            settled = await self._checksum_phase(peer, mode)
+            if settled is None:
+                return False  # refused
+            if settled:
+                self.stats.checksum_successes += 1
+                return True
+            # Checksums still disagree: fall through to a full exchange.
+        session = ExchangeSession(self.store, mode)
+        offered = session.offer()
+        request_type = (
+            MessageType.PUSH if mode.pushes else MessageType.PULL_REQUEST
+        )
+        reply = await self._call(
+            peer,
+            Message(
+                type=request_type,
+                sender=self.node_id,
+                payload={"mode": mode.value, "updates": encode_updates(offered)},
+            ),
+        )
+        if _rejected(reply):
+            return False
+        self.stats.updates_shipped += len(offered) if mode.pushes else 0
+        if reply.type is MessageType.PULL_REPLY:
+            absorbed = session.absorb(payload_updates(reply.payload))
+            self.stats.updates_absorbed += len(absorbed)
+            self._note_news(absorbed)
+        return True
+
+    async def _checksum_phase(self, peer: Peer, mode: ExchangeMode) -> Optional[bool]:
+        """Section 1.3's cheap first phase over the wire.
+
+        Returns True when the checksums agree after exchanging recent
+        update lists, False when a full comparison is still needed, and
+        ``None`` when the partner refused the conversation.
+        """
+        recent = self.store.recent_updates(self.config.tau) if mode.pushes else []
+        reply = await self._call(
+            peer,
+            Message(
+                type=MessageType.CHECKSUM,
+                sender=self.node_id,
+                payload={
+                    "mode": mode.value,
+                    "checksum": self.store.checksum,
+                    "tau": self.config.tau,
+                    "updates": encode_updates(recent),
+                },
+            ),
+        )
+        if _rejected(reply):
+            return None
+        if reply.type is not MessageType.CHECKSUM:
+            raise WireError(f"expected CHECKSUM reply, got {reply.type.value}")
+        self.stats.updates_shipped += len(recent)
+        session = ExchangeSession(self.store, mode)
+        absorbed = session.absorb(payload_updates(reply.payload))
+        self.stats.updates_absorbed += len(absorbed)
+        self._note_news(absorbed)
+        theirs = reply.payload.get("checksum")
+        return isinstance(theirs, int) and theirs == self.store.checksum
+
+    # ------------------------------------------------------------------
+    # Outbound: rumor mongering
+    # ------------------------------------------------------------------
+
+    async def run_rumor_once(self) -> bool:
+        """Push the hot-rumor list to one partner; apply ACK feedback."""
+        if self._selector is None or not self._hot:
+            return False
+        rumors = list(self._hot.values())
+        updates = [rumor.update for rumor in rumors]
+        partner_id = self._selector.choose(self.node_id, self._rng)
+        peer = self.peers[partner_id]
+        try:
+            async with self._budget:
+                reply = await self._call(
+                    peer,
+                    Message(
+                        type=MessageType.RUMOR,
+                        sender=self.node_id,
+                        payload={"updates": encode_updates(updates)},
+                    ),
+                )
+        except (PeerError, WireError):
+            self.stats.peer_failures += 1
+            return False
+        if _rejected(reply):
+            self.stats.rejections_out += 1
+            return False
+        self.stats.updates_shipped += len(updates)
+        news = reply.payload.get("news", [])
+        for index, rumor in enumerate(rumors):
+            was_news = bool(news[index]) if index < len(news) else False
+            if was_news:
+                continue  # feedback: a useful push keeps the rumor hot
+            rumor.counter += 1
+            if rumor.counter >= self.config.rumor_k:
+                self._hot.pop(rumor.update.key, None)
+        return True
+
+    def _make_hot(self, update: StoreUpdate) -> None:
+        existing = self._hot.get(update.key)
+        if existing is not None and not _beats(update, existing.update):
+            return
+        self._hot[update.key] = _HotRumor(update=update)
+        self.stats.rumors_started += 1
+
+    @property
+    def hot_rumor_count(self) -> int:
+        return len(self._hot)
+
+    # ------------------------------------------------------------------
+    # Inbound
+    # ------------------------------------------------------------------
+
+    async def _serve(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                message = await read_message(reader, self.config.max_frame)
+                if message is None:
+                    break
+                self.stats.count_received(message.type)
+                reply = self._handle(message)
+                if reply is not None:
+                    self.stats.count_sent(reply.type)
+                    writer.write(encode_message(reply))
+                    await writer.drain()
+        except (WireError, OSError, asyncio.IncompleteReadError):
+            pass  # a broken peer conversation only affects that peer
+        finally:
+            # No wait_closed() here: awaiting it can raise a spurious
+            # CancelledError when the whole node is being torn down.
+            writer.close()
+
+    def _handle(self, message: Message) -> Optional[Message]:
+        """Dispatch one inbound frame; returns the reply frame."""
+        if self._inbound_active >= self.config.connection_limit:
+            # The busy-server refusal of Section 1.4: the initiator may
+            # hunt for another partner.
+            self.stats.rejections_in += 1
+            return self._ack({"rejected": True})
+        self._inbound_active += 1
+        try:
+            try:
+                if message.type in (MessageType.PUSH, MessageType.PULL_REQUEST):
+                    return self._handle_exchange(message)
+                if message.type is MessageType.CHECKSUM:
+                    return self._handle_checksum(message)
+                if message.type is MessageType.RUMOR:
+                    return self._handle_rumor(message)
+                if message.type is MessageType.MAIL:
+                    return self._handle_mail(message)
+            except (WireError, SerializeError) as error:
+                return self._ack({"error": str(error)})
+            return None  # ACKs need no answer
+        finally:
+            self._inbound_active -= 1
+
+    def _handle_exchange(self, message: Message) -> Message:
+        mode = _decode_mode(message.payload)
+        offered = payload_updates(message.payload)
+        if message.type is MessageType.PULL_REQUEST:
+            # The offer is a digest only: never apply, only serve back.
+            mode = ExchangeMode.PULL
+        session = ExchangeSession(self.store, mode)
+        reply = session.respond(offered)
+        self._note_news(reply.applied)
+        self.stats.updates_absorbed += len(reply.applied)
+        if mode.pulls:
+            self.stats.updates_shipped += len(reply.send_back)
+            return Message(
+                type=MessageType.PULL_REPLY,
+                sender=self.node_id,
+                payload={"updates": encode_updates(reply.send_back)},
+            )
+        return self._ack({"applied": len(reply.applied)})
+
+    def _handle_checksum(self, message: Message) -> Message:
+        if message.payload.get("probe"):
+            return self._ack(self._probe_payload())
+        mode = _decode_mode(message.payload)
+        session = ExchangeSession(self.store, mode)
+        absorbed = session.absorb(payload_updates(message.payload))
+        self._note_news(absorbed)
+        self.stats.updates_absorbed += len(absorbed)
+        tau = message.payload.get("tau", self.config.tau)
+        if not isinstance(tau, (int, float)) or isinstance(tau, bool) or tau <= 0:
+            raise WireError(f"bad tau {tau!r}")
+        recent = self.store.recent_updates(float(tau)) if mode.pulls else []
+        self.stats.updates_shipped += len(recent)
+        return Message(
+            type=MessageType.CHECKSUM,
+            sender=self.node_id,
+            payload={
+                "checksum": self.store.checksum,
+                "updates": encode_updates(recent),
+            },
+        )
+
+    def _handle_rumor(self, message: Message) -> Message:
+        updates = payload_updates(message.payload)
+        news: List[bool] = []
+        for update in updates:
+            was_news = self.store.apply_update(update).was_news
+            news.append(was_news)
+            if was_news:
+                self._note_news([update])
+                self._make_hot(update)  # infection: the rumor spreads here too
+        self.stats.updates_absorbed += sum(news)
+        return self._ack({"news": news})
+
+    def _handle_mail(self, message: Message) -> Message:
+        payload = message.payload
+        if "key" in payload:
+            # Client injection: stamp with this node's clock and start
+            # spreading (the paper's "update at the originating site").
+            update = self.inject(payload["key"], payload.get("value"))
+            return self._ack(
+                {"applied": True, "timestamp": encode_timestamp(update.timestamp)}
+            )
+        updates = payload_updates(payload)
+        news: List[bool] = []
+        for update in updates:
+            was_news = self.store.apply_update(update).was_news
+            news.append(was_news)
+            if was_news:
+                self._note_news([update])
+        self.stats.updates_absorbed += sum(news)
+        return self._ack({"news": news})
+
+    def _probe_payload(self) -> Dict[str, Any]:
+        """Status snapshot for the measurement harness."""
+        stats = self.stats
+        return {
+            "node": self.node_id,
+            "checksum": self.store.checksum,
+            "entries": len(self.store),
+            "received": {str(key): t for key, t in stats.received.items()},
+            "exchanges": stats.exchanges,
+            "checksum_successes": stats.checksum_successes,
+            "updates_shipped": stats.updates_shipped,
+            "updates_absorbed": stats.updates_absorbed,
+            "frames_sent": dict(stats.frames_sent),
+            "frames_received": dict(stats.frames_received),
+            "rejections_in": stats.rejections_in,
+            "rejections_out": stats.rejections_out,
+            "peer_failures": stats.peer_failures,
+            "hot_rumors": len(self._hot),
+        }
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    async def _call(self, peer: Peer, message: Message) -> Message:
+        self.stats.count_sent(message.type)
+        reply = await peer.call(message)
+        self.stats.count_received(reply.type)
+        return reply
+
+    def _ack(self, payload: Dict[str, Any]) -> Message:
+        return Message(type=MessageType.ACK, sender=self.node_id, payload=payload)
+
+    def _note_news(self, updates: List[StoreUpdate]) -> None:
+        now = time.time()
+        for update in updates:
+            self.stats.received.setdefault(update.key, now)
+
+
+def _rejected(reply: Message) -> bool:
+    return reply.type is MessageType.ACK and bool(reply.payload.get("rejected"))
+
+
+def _decode_mode(payload: Dict[str, Any]) -> ExchangeMode:
+    mode = _MODES_BY_VALUE.get(payload.get("mode"))
+    if mode is None:
+        raise WireError(f"bad exchange mode {payload.get('mode')!r}")
+    return mode
+
+
+def _beats(challenger: StoreUpdate, incumbent: StoreUpdate) -> bool:
+    from repro.protocols.base import entry_beats
+
+    return entry_beats(challenger.entry, incumbent.entry)

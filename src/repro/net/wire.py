@@ -1,0 +1,175 @@
+"""Wire framing for the live gossip runtime.
+
+A frame is a 4-byte big-endian length prefix followed by a UTF-8 JSON
+body::
+
+    {"v": 1, "type": "push", "sender": 3, "payload": {...}}
+
+The versioned header lets incompatible future formats be rejected
+cleanly instead of misparsed.  Bodies reuse the checkpoint codec of
+:mod:`repro.core.serialize` for entries, so anything that crosses the
+wire is exactly what a checkpoint would contain — death certificates
+with activation timestamps and retention lists included.
+
+Message types map onto the paper's mechanisms:
+
+========================  ====================================================
+``PUSH``                  anti-entropy offer (initiator's full table); the
+                          responder applies newer entries and answers with a
+                          ``PULL_REPLY`` (push-pull) or ``ACK`` (push only)
+``PULL_REQUEST``          anti-entropy offer used purely as a digest: nothing
+                          is applied at the responder, which answers with the
+                          entries the initiator lacks in a ``PULL_REPLY``
+``PULL_REPLY``            the responder's half of an exchange
+``CHECKSUM``              Section 1.3's cheap first phase (recent update list
+                          + database checksum), and — with ``{"probe": true}``
+                          — a read-only status probe used by the demo harness
+``RUMOR``                 hot-rumor push (Section 1.4); the ``ACK`` carries
+                          per-update was-news feedback for the sender's
+                          counters
+``MAIL``                  direct mail between peers, or a client injection
+                          (``{"key": ..., "value": ...}``) stamped by the
+                          receiving node's clock
+``ACK``                   generic reply: feedback, probe results, rejections
+========================  ====================================================
+
+All decoding is strict: malformed frames raise :class:`WireError`, and
+oversized frames are rejected before allocation so a bad peer cannot
+balloon memory.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import enum
+import json
+import struct
+from typing import Any, Dict, Optional
+
+from repro.core.serialize import SerializeError
+
+PROTOCOL_VERSION = 1
+
+#: Hard ceiling on one frame's body size (16 MiB).  Full-table offers
+#: for the demo workloads are a few KiB; this bound exists to stop a
+#: malformed or hostile length prefix from forcing a giant allocation.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+HEADER_BYTES = _HEADER.size
+
+
+class WireError(Exception):
+    """A frame could not be encoded, read, or decoded."""
+
+
+class MessageType(enum.Enum):
+    PUSH = "push"
+    PULL_REQUEST = "pull-request"
+    PULL_REPLY = "pull-reply"
+    CHECKSUM = "checksum"
+    RUMOR = "rumor"
+    MAIL = "mail"
+    ACK = "ack"
+
+
+_TYPES_BY_VALUE = {t.value: t for t in MessageType}
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Message:
+    """One framed message: a type, the sending node's id, and a payload."""
+
+    type: MessageType
+    sender: int
+    payload: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+
+def encode_message(message: Message, max_frame: int = MAX_FRAME_BYTES) -> bytes:
+    """Encode ``message`` as one length-prefixed frame."""
+    body = json.dumps(
+        {
+            "v": PROTOCOL_VERSION,
+            "type": message.type.value,
+            "sender": message.sender,
+            "payload": message.payload,
+        },
+        separators=(",", ":"),
+    ).encode("utf-8")
+    if len(body) > max_frame:
+        raise WireError(
+            f"message of {len(body)} bytes exceeds the {max_frame}-byte frame limit"
+        )
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> Message:
+    """Decode one frame body (everything after the length prefix)."""
+    try:
+        blob = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise WireError(f"frame body is not valid JSON: {error}") from None
+    if not isinstance(blob, dict):
+        raise WireError(f"frame body must be an object, got {type(blob).__name__}")
+    version = blob.get("v")
+    if version != PROTOCOL_VERSION:
+        raise WireError(
+            f"unsupported wire version {version!r} (this node speaks {PROTOCOL_VERSION})"
+        )
+    type_name = blob.get("type")
+    message_type = _TYPES_BY_VALUE.get(type_name)
+    if message_type is None:
+        raise WireError(f"unknown message type {type_name!r}")
+    sender = blob.get("sender")
+    if not isinstance(sender, int) or isinstance(sender, bool):
+        raise WireError(f"sender must be a node id, got {sender!r}")
+    payload = blob.get("payload", {})
+    if not isinstance(payload, dict):
+        raise WireError(f"payload must be an object, got {type(payload).__name__}")
+    return Message(type=message_type, sender=sender, payload=payload)
+
+
+async def read_message(
+    reader: asyncio.StreamReader, max_frame: int = MAX_FRAME_BYTES
+) -> Optional[Message]:
+    """Read one frame; ``None`` on a clean EOF at a frame boundary.
+
+    EOF in the middle of a frame (a peer dying mid-send) and malformed
+    bodies raise :class:`WireError`.
+    """
+    try:
+        header = await reader.readexactly(HEADER_BYTES)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None  # clean close between frames
+        raise WireError("connection closed mid-header") from None
+    (length,) = _HEADER.unpack(header)
+    if length == 0:
+        raise WireError("zero-length frame")
+    if length > max_frame:
+        raise WireError(
+            f"incoming frame of {length} bytes exceeds the {max_frame}-byte limit"
+        )
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as error:
+        raise WireError(
+            f"connection closed mid-frame ({len(error.partial)}/{length} bytes)"
+        ) from None
+    return decode_body(body)
+
+
+def payload_updates(payload: Dict[str, Any], field: str = "updates"):
+    """Decode a list of store updates out of a message payload.
+
+    Wraps :class:`repro.core.serialize.SerializeError` into
+    :class:`WireError` so transport code has a single failure type for
+    "the peer sent garbage".
+    """
+    from repro.core.serialize import decode_updates
+
+    try:
+        return decode_updates(payload.get(field, []))
+    except SerializeError as error:
+        raise WireError(f"bad {field!r} in payload: {error}") from None

@@ -23,7 +23,7 @@ reports how much data had to cross the wire, which is what Tables 4 and
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Tuple
+from typing import Iterable, List, Tuple
 
 from repro.core.store import ApplyResult, ReplicaStore, StoreUpdate
 from repro.protocols.base import ExchangeMode, entry_beats
@@ -48,6 +48,80 @@ class ExchangeReport:
         return bool(self.sent_ab or self.sent_ba)
 
 
+@dataclasses.dataclass(slots=True)
+class SessionReply:
+    """The responder's half of one full-compare conversation."""
+
+    applied: List[StoreUpdate] = dataclasses.field(default_factory=list)
+    send_back: List[StoreUpdate] = dataclasses.field(default_factory=list)
+    entries_examined: int = 0
+
+
+class ExchangeSession:
+    """One endpoint of an anti-entropy conversation, transport-agnostic.
+
+    The paper's ResolveDifference is a conversation between two sites;
+    this class is the difference-resolution logic of *one* side, with the
+    transport left to the caller.  The in-process simulator
+    (:func:`resolve_difference`) and the live TCP runtime
+    (``repro.net.node``) drive the same session objects, so the
+    last-writer-wins / death-certificate merge rules exist in exactly one
+    place:
+
+        initiator                                   responder
+        ---------                                   ---------
+        offer() ———————— full entry table ————————> respond(offered)
+        absorb(updates) <——— reply.send_back ———————————┘
+
+    ``mode`` governs which halves carry data: the responder applies the
+    offer only when the mode pushes, and returns entries the initiator
+    lacks only when the mode pulls.
+    """
+
+    def __init__(
+        self, store: ReplicaStore, mode: ExchangeMode = ExchangeMode.PUSH_PULL
+    ):
+        self.store = store
+        self.mode = mode
+
+    def offer(self) -> List[StoreUpdate]:
+        """The initiator's opening message: its full active table.
+
+        Even a pull-only exchange sends the table — the responder needs
+        it as a digest to know which of its entries are newer (this is
+        exactly the "one full copy crosses the network" cost Section 1.3's
+        cheaper strategies exist to avoid).
+        """
+        return [
+            StoreUpdate(key=key, entry=entry)
+            for key, entry in sorted(self.store.entries(), key=lambda kv: repr(kv[0]))
+        ]
+
+    def respond(self, offered: Iterable[StoreUpdate]) -> SessionReply:
+        """Resolve the initiator's offer against the local store."""
+        theirs = {update.key: update.entry for update in offered}
+        ours = dict(self.store.entries())
+        keys = theirs.keys() | ours.keys()
+        reply = SessionReply(entries_examined=len(keys))
+        for key in sorted(keys, key=repr):
+            remote = theirs.get(key)
+            local = ours.get(key)
+            if self.mode.pushes and entry_beats(remote, local):
+                self.store.apply_entry(key, remote)
+                reply.applied.append(StoreUpdate(key=key, entry=remote))
+            elif self.mode.pulls and entry_beats(local, remote):
+                reply.send_back.append(StoreUpdate(key=key, entry=local))
+        return reply
+
+    def absorb(self, updates: Iterable[StoreUpdate]) -> List[StoreUpdate]:
+        """Apply the responder's reply at the initiator; returns the news."""
+        applied: List[StoreUpdate] = []
+        for update in updates:
+            if self.store.apply_update(update).was_news:
+                applied.append(update)
+        return applied
+
+
 def resolve_difference(
     a: ReplicaStore, b: ReplicaStore, mode: ExchangeMode = ExchangeMode.PUSH_PULL
 ) -> ExchangeReport:
@@ -56,21 +130,17 @@ def resolve_difference(
     push: entries where ``a`` is newer overwrite ``b``;
     pull: entries where ``b`` is newer overwrite ``a``;
     push-pull: both.
+
+    Implemented as an in-process drive of two :class:`ExchangeSession`
+    endpoints — the very objects the live TCP runtime runs over sockets.
     """
+    initiator = ExchangeSession(a, mode)
+    responder = ExchangeSession(b, mode)
+    reply = responder.respond(initiator.offer())
     report = ExchangeReport(full_compare=True)
-    keys = set(dict(a.entries())) | set(dict(b.entries()))
-    report.entries_examined = len(keys)
-    for key in sorted(keys, key=repr):
-        ea = a.entry(key)
-        eb = b.entry(key)
-        if mode.pushes and entry_beats(ea, eb):
-            update = StoreUpdate(key=key, entry=ea)
-            b.apply_entry(key, ea)
-            report.sent_ab.append(update)
-        elif mode.pulls and entry_beats(eb, ea):
-            update = StoreUpdate(key=key, entry=eb)
-            a.apply_entry(key, eb)
-            report.sent_ba.append(update)
+    report.entries_examined = reply.entries_examined
+    report.sent_ab = reply.applied
+    report.sent_ba = initiator.absorb(reply.send_back)
     return report
 
 

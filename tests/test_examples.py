@@ -18,6 +18,7 @@ EXPECTED_MARKERS = {
     "nameservice.py": "all domains consistent",
     "epidemic_curves.py": "final residue",
     "operations.py": "all consistent",
+    "live_cluster.py": "live cluster converged",
 }
 
 

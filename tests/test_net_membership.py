@@ -1,0 +1,181 @@
+"""The static roster: parsing, validation, distances, selectors.
+
+(The simulator's dynamic-membership protocol is covered separately in
+``test_membership.py``; this file is about the live runtime's config.)
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.net.membership import (
+    Membership,
+    MembershipDistances,
+    MembershipError,
+    PeerInfo,
+)
+from repro.topology.spatial import SortedListSelector, UniformSelector
+
+
+def roster(n: int = 4) -> Membership:
+    return Membership.localhost([9100 + i for i in range(n)])
+
+
+class TestRoster:
+    def test_basic_access(self):
+        m = roster(3)
+        assert len(m) == 3
+        assert m.node_ids == [0, 1, 2]
+        assert 2 in m and 7 not in m
+        assert m.get(1).port == 9101
+        assert [p.node_id for p in m.others(1)] == [0, 2]
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(MembershipError, match="not in the roster"):
+            roster().get(99)
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(MembershipError, match="duplicate"):
+            Membership([PeerInfo(0, "h", 1), PeerInfo(0, "h", 2)])
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(MembershipError, match="negative"):
+            Membership([PeerInfo(-1, "h", 1)])
+
+    def test_empty_roster_rejected(self):
+        with pytest.raises(MembershipError):
+            Membership([])
+
+    def test_distance_floor_is_one(self):
+        m = Membership(
+            [
+                PeerInfo(0, "h", 1, position=0.0),
+                PeerInfo(1, "h", 2, position=0.25),
+                PeerInfo(2, "h", 3, position=5.0),
+            ]
+        )
+        assert m.distance(0, 0) == 0.0
+        assert m.distance(0, 1) == 1.0   # closer than 1 snaps to 1
+        assert m.distance(0, 2) == 5.0
+        assert m.distance(2, 0) == 5.0
+
+
+class TestPayload:
+    def test_round_trip(self):
+        m = roster(3)
+        again = Membership.from_payload(m.to_payload())
+        assert again.node_ids == m.node_ids
+        assert [p.address for p in again] == [p.address for p in m]
+        assert [p.position for p in again] == [p.position for p in m]
+
+    def test_position_defaults_to_index(self):
+        m = Membership.from_payload(
+            {
+                "version": 1,
+                "nodes": [
+                    {"id": 5, "host": "a", "port": 1},
+                    {"id": 6, "host": "b", "port": 2},
+                ],
+            }
+        )
+        assert m.get(5).position == 0.0
+        assert m.get(6).position == 1.0
+
+    @pytest.mark.parametrize(
+        "payload, pattern",
+        [
+            ([1, 2], "object"),
+            ({"version": 2, "nodes": []}, "version"),
+            ({"version": 1}, "nodes"),
+            ({"version": 1, "nodes": []}, "nodes"),
+            ({"version": 1, "nodes": [{"id": 0, "host": "h"}]}, "port"),
+            ({"version": 1, "nodes": [{"id": True, "host": "h", "port": 1}]}, "integer"),
+            ({"version": 1, "nodes": [{"id": 0, "host": "", "port": 1}]}, "host"),
+            ({"version": 1, "nodes": [{"id": 0, "host": "h", "port": 0}]}, "port"),
+            ({"version": 1, "nodes": [{"id": 0, "host": "h", "port": 70000}]}, "port"),
+            (
+                {"version": 1, "nodes": [{"id": 0, "host": "h", "port": 1, "position": "x"}]},
+                "position",
+            ),
+        ],
+    )
+    def test_malformed_payloads(self, payload, pattern):
+        with pytest.raises(MembershipError, match=pattern):
+            Membership.from_payload(payload)
+
+
+class TestFiles:
+    def test_json_round_trip(self, tmp_path):
+        path = tmp_path / "roster.json"
+        roster(3).dump(path)
+        assert Membership.load(path).node_ids == [0, 1, 2]
+
+    def test_toml(self, tmp_path):
+        path = tmp_path / "roster.toml"
+        path.write_text(
+            'version = 1\n'
+            '[[nodes]]\nid = 0\nhost = "127.0.0.1"\nport = 9100\n'
+            '[[nodes]]\nid = 1\nhost = "127.0.0.1"\nport = 9101\nposition = 4.0\n'
+        )
+        m = Membership.load(path)
+        assert m.node_ids == [0, 1]
+        assert m.get(1).position == 4.0
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(MembershipError, match="cannot read"):
+            Membership.load(tmp_path / "nope.json")
+
+    def test_bad_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{nope")
+        with pytest.raises(MembershipError, match="bad JSON"):
+            Membership.load(path)
+
+    def test_bad_toml(self, tmp_path):
+        path = tmp_path / "broken.toml"
+        path.write_text("version = = 1")
+        with pytest.raises(MembershipError, match="bad TOML"):
+            Membership.load(path)
+
+
+class TestSelectors:
+    def test_uniform(self):
+        selector = roster(4).selector("uniform")
+        assert isinstance(selector, UniformSelector)
+        rng = random.Random(7)
+        picks = {selector.choose(0, rng) for __ in range(200)}
+        assert picks == {1, 2, 3}
+
+    def test_spatial_favors_near_nodes(self):
+        selector = roster(16).selector("spatial:2.0")
+        assert isinstance(selector, SortedListSelector)
+        rng = random.Random(7)
+        picks = [selector.choose(0, rng) for __ in range(2000)]
+        near = sum(1 for p in picks if p <= 3)
+        far = sum(1 for p in picks if p >= 12)
+        assert 0 not in picks
+        assert near > far
+
+    def test_bad_specs(self):
+        with pytest.raises(MembershipError, match="unknown selector"):
+            roster().selector("nearest")
+        with pytest.raises(MembershipError, match="spatial exponent"):
+            roster().selector("spatial:wat")
+
+    def test_single_node_roster_cannot_select(self):
+        with pytest.raises(MembershipError, match="two nodes"):
+            Membership([PeerInfo(0, "h", 1)]).selector("uniform")
+
+
+class TestMembershipDistances:
+    def test_sorted_view_and_q(self):
+        distances = MembershipDistances(roster(5))
+        others, dists = distances.others_by_distance(2)
+        assert set(others) == {0, 1, 3, 4}
+        assert dists == sorted(dists)
+        assert dists[0] == 1.0
+        # Q_s(d): nodes within distance d (eq 3.1.1 denominator).
+        assert distances.q(2, 1.0) == 2    # nodes 1 and 3
+        assert distances.q(2, 2.0) == 4
+        assert distances.q(2, 0.5) == 0

@@ -1,0 +1,262 @@
+"""GossipNode behavior over real localhost TCP.
+
+The periodic loops are parked (huge intervals) so every exchange here
+is driven explicitly with ``run_anti_entropy_once`` /
+``run_rumor_once`` — the network is real, the timing deterministic.
+"""
+
+import asyncio
+import contextlib
+import socket
+from typing import List
+
+import pytest
+
+from repro.net.membership import Membership
+from repro.net.node import GossipNode, NodeConfig
+from repro.net.peer import Peer, RetryPolicy
+from repro.net.wire import Message, MessageType
+from repro.protocols.base import ExchangeMode
+
+#: Loops effectively disabled; fast failure detection.
+QUIET = dict(
+    anti_entropy_interval=3600.0,
+    rumor_interval=3600.0,
+    retry=RetryPolicy(connect_timeout=0.5, io_timeout=1.0, attempts=1),
+)
+
+
+@contextlib.asynccontextmanager
+async def cluster(n: int = 2, **overrides):
+    config = NodeConfig(**{**QUIET, **overrides})
+    socks = []
+    for __ in range(n):
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind(("127.0.0.1", 0))
+        socks.append(sock)
+    membership = Membership.localhost([s.getsockname()[1] for s in socks])
+    nodes: List[GossipNode] = []
+    try:
+        for node_id, sock in enumerate(socks):
+            node = GossipNode(node_id, membership, config)
+            await node.start(sock=sock)
+            nodes.append(node)
+        yield nodes
+    finally:
+        for node in nodes:
+            await node.stop()
+
+
+class TestAntiEntropy:
+    def test_push_pull_converges_both_ways(self):
+        async def scenario():
+            async with cluster(2) as (a, b):
+                a.inject("from-a", 1)
+                b.inject("from-b", 2)
+                assert await a.run_anti_entropy_once()
+                return (
+                    a.store.agrees_with(b.store),
+                    a.store.get("from-b"),
+                    b.store.get("from-a"),
+                    a.stats.exchanges,
+                    b.stats.updates_absorbed,
+                    a.stats.updates_absorbed,
+                )
+
+        agrees, at_a, at_b, exchanges, b_absorbed, a_absorbed = asyncio.run(scenario())
+        assert agrees
+        assert at_a == 2 and at_b == 1
+        assert exchanges == 1
+        assert b_absorbed == 1 and a_absorbed == 1
+
+    def test_push_only_sends_but_never_fetches(self):
+        async def scenario():
+            async with cluster(2, mode=ExchangeMode.PUSH) as (a, b):
+                a.inject("mine", 1)
+                b.inject("theirs", 2)
+                assert await a.run_anti_entropy_once()
+                return b.store.get("mine"), a.store.get("theirs")
+
+        pushed, pulled = asyncio.run(scenario())
+        assert pushed == 1
+        assert pulled is None   # push mode must not pull
+
+    def test_pull_only_fetches_but_never_sends(self):
+        async def scenario():
+            async with cluster(2, mode=ExchangeMode.PULL) as (a, b):
+                a.inject("mine", 1)
+                b.inject("theirs", 2)
+                assert await a.run_anti_entropy_once()
+                return a.store.get("theirs"), b.store.get("mine")
+
+        pulled, pushed = asyncio.run(scenario())
+        assert pulled == 2
+        assert pushed is None   # the digest offer must not be applied
+
+    def test_death_certificate_propagates(self):
+        async def scenario():
+            async with cluster(2) as (a, b):
+                a.inject("doomed", 1)
+                await a.run_anti_entropy_once()
+                a.delete("doomed")
+                await a.run_anti_entropy_once()
+                return a.store.agrees_with(b.store), b.store.get("doomed")
+
+        agrees, value = asyncio.run(scenario())
+        assert agrees
+        assert value is None
+
+    def test_checksum_strategy_settles_without_full_compare(self):
+        async def scenario():
+            async with cluster(2, strategy="checksum", tau=60.0) as (a, b):
+                a.inject("k", "v")
+                assert await a.run_anti_entropy_once()
+                return (
+                    a.store.agrees_with(b.store),
+                    a.stats.checksum_successes,
+                    b.store.get("k"),
+                )
+
+        agrees, successes, value = asyncio.run(scenario())
+        assert agrees
+        # The recent-update list alone reconciled the stores: no full
+        # table was shipped (Section 1.3's whole point).
+        assert successes == 1
+        assert value == "v"
+
+    def test_dead_partner_is_a_counted_failure_not_a_crash(self):
+        async def scenario():
+            async with cluster(2, hunt_limit=0) as (a, b):
+                await b.stop()
+                a.inject("k", 1)
+                ran = await a.run_anti_entropy_once()
+                return ran, a.stats.peer_failures
+
+        ran, failures = asyncio.run(scenario())
+        assert ran is False
+        assert failures == 1
+
+    def test_busy_partner_is_refused_and_counted(self):
+        async def scenario():
+            async with cluster(2, hunt_limit=0, connection_limit=1) as (a, b):
+                b._inbound_active = 1   # simulate a saturated server
+                a.inject("k", 1)
+                ran = await a.run_anti_entropy_once()
+                return ran, a.stats.rejections_out, b.stats.rejections_in
+
+        ran, out, inn = asyncio.run(scenario())
+        assert ran is False
+        assert out == 1 and inn == 1
+
+
+class TestRumors:
+    def test_rumor_spreads_and_infects_the_receiver(self):
+        async def scenario():
+            async with cluster(2) as (a, b):
+                a.inject("hot", 1)
+                assert a.hot_rumor_count == 1
+                assert await a.run_rumor_once()
+                return b.store.get("hot"), b.hot_rumor_count, a.hot_rumor_count
+
+        value, b_hot, a_hot = asyncio.run(scenario())
+        assert value == 1
+        assert b_hot == 1    # receiving news makes the receiver infectious
+        assert a_hot == 1    # a useful push keeps the rumor hot
+
+    def test_feedback_counter_deactivates_rumor(self):
+        async def scenario():
+            async with cluster(2, rumor_k=1) as (a, b):
+                a.inject("hot", 1)
+                await a.run_rumor_once()   # news: stays hot
+                await a.run_rumor_once()   # not news: counter hits k
+                return a.hot_rumor_count
+
+        assert asyncio.run(scenario()) == 0
+
+    def test_no_hot_rumors_means_no_traffic(self):
+        async def scenario():
+            async with cluster(2) as (a, b):
+                ran = await a.run_rumor_once()
+                return ran, a.stats.frames_sent_total
+
+        ran, frames = asyncio.run(scenario())
+        assert ran is False
+        assert frames == 0
+
+
+class TestWireClients:
+    def test_mail_injection_over_tcp(self):
+        async def scenario():
+            async with cluster(2) as (a, b):
+                client = Peer(a.info, RetryPolicy(attempts=1))
+                reply = await client.call(
+                    Message(MessageType.MAIL, sender=-1, payload={"key": "k", "value": 7})
+                )
+                await client.close()
+                return reply, a.store.get("k"), a.hot_rumor_count
+
+        reply, value, hot = asyncio.run(scenario())
+        assert reply.payload["applied"] is True
+        assert "timestamp" in reply.payload
+        assert value == 7
+        assert hot == 1   # a client write starts spreading as a rumor
+
+    def test_checksum_probe_reports_status(self):
+        async def scenario():
+            async with cluster(2) as (a, b):
+                a.inject("k", 1)
+                client = Peer(a.info, RetryPolicy(attempts=1))
+                reply = await client.call(
+                    Message(MessageType.CHECKSUM, sender=-1, payload={"probe": True})
+                )
+                await client.close()
+                return reply.payload, a.store.checksum
+
+        payload, checksum = asyncio.run(scenario())
+        assert payload["node"] == 0
+        assert payload["entries"] == 1
+        assert payload["checksum"] == checksum
+        assert "k" in payload["received"]
+
+    def test_malformed_payload_gets_error_ack_not_a_crash(self):
+        async def scenario():
+            async with cluster(2) as (a, b):
+                client = Peer(a.info, RetryPolicy(attempts=1))
+                reply = await client.call(
+                    Message(
+                        MessageType.PUSH,
+                        sender=-1,
+                        payload={"mode": "sideways", "updates": []},
+                    )
+                )
+                await client.close()
+                return reply
+
+        reply = asyncio.run(scenario())
+        assert reply.type is MessageType.ACK
+        assert "error" in reply.payload
+
+
+class TestNodeConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NodeConfig(anti_entropy_interval=0)
+        with pytest.raises(ValueError):
+            NodeConfig(strategy="telepathy")
+        with pytest.raises(ValueError):
+            NodeConfig(tau=0)
+        with pytest.raises(ValueError):
+            NodeConfig(rumor_k=0)
+        with pytest.raises(ValueError):
+            NodeConfig(connection_limit=0)
+        with pytest.raises(ValueError):
+            NodeConfig(hunt_limit=-1)
+
+    def test_double_start_rejected(self):
+        async def scenario():
+            async with cluster(2) as (a, b):
+                with pytest.raises(RuntimeError, match="already running"):
+                    await a.start()
+
+        asyncio.run(scenario())
