@@ -9,7 +9,9 @@ the live gossip runtime.
 
     python -m repro live-demo --nodes 8          # N asyncio nodes on localhost
     python -m repro live-demo --nodes 8 --churn  # kill + restart one mid-run
+    python -m repro live-demo --json --trace-file run.jsonl
     python -m repro node --config roster.json --id 3
+    python -m repro status --config roster.json --id 3
 
 Each experiment subcommand prints the measured table next to the
 paper's values (where the paper gives absolute numbers); ``live-demo``
@@ -21,7 +23,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
 from repro.experiments.report import format_table
 
@@ -231,6 +233,7 @@ def _node_config(args):
 
 def cmd_live_demo(args) -> None:
     import asyncio
+    import json
 
     from repro.net.runner import live_demo
 
@@ -240,12 +243,30 @@ def cmd_live_demo(args) -> None:
             config=_node_config(args),
             churn=args.churn,
             timeout=args.time_limit,
+            trace_file=args.trace_file,
+            metrics_file=args.metrics_json,
         )
     )
-    print("live demo: one update through a real TCP gossip cluster")
-    print("\n".join(report.lines()))
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print("live demo: one update through a real TCP gossip cluster")
+        print("\n".join(report.lines()))
     if not report.converged:
         raise SystemExit(1)
+
+
+def cmd_status(args) -> None:
+    import asyncio
+    import json
+
+    from repro.net.runner import query_status
+
+    if args.config is None or args.id is None:
+        print("error: 'status' requires --config and --id", file=sys.stderr)
+        raise SystemExit(2)
+    payload = asyncio.run(query_status(args.config, args.id))
+    print(json.dumps(payload, indent=2, sort_keys=True))
 
 
 def cmd_node(args) -> None:
@@ -281,6 +302,7 @@ COMMANDS: Dict[str, Callable] = {
 LIVE_COMMANDS: Dict[str, Callable] = {
     "live-demo": cmd_live_demo,
     "node": cmd_node,
+    "status": cmd_status,
 }
 
 
@@ -338,12 +360,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="live-demo convergence timeout in seconds (default 30)",
     )
     live.add_argument(
+        "--json", action="store_true",
+        help="live-demo: print the report as machine-readable JSON",
+    )
+    live.add_argument(
+        "--trace-file", default=None, metavar="PATH",
+        help="live-demo: stream every observability event to a JSONL trace",
+    )
+    live.add_argument(
+        "--metrics-json", default=None, metavar="PATH",
+        help="live-demo: dump each node's final STATUS snapshot as JSON",
+    )
+    live.add_argument(
         "--config", default=None,
-        help="node: path to the membership roster (.json or .toml)",
+        help="node/status: path to the membership roster (.json or .toml)",
     )
     live.add_argument(
         "--id", type=int, default=None,
-        help="node: this node's id in the roster",
+        help="node/status: the target node's id in the roster",
     )
     return parser
 

@@ -17,11 +17,11 @@ Responsibilities:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
-from repro.core.items import Entry
 from repro.core.store import ApplyResult, StoreUpdate
 from repro.core.timestamps import SimClock
+from repro.obs.events import EventBus, EventKind
 from repro.sim.engine import Simulator
 from repro.sim.metrics import EpidemicMetrics, LinkTraffic
 from repro.sim.rng import RngRegistry
@@ -40,11 +40,18 @@ class Cluster:
         seed: int = 0,
         clock_skew: Callable[[int], float] | None = None,
         participants: Optional[Sequence[int]] = None,
+        bus: Optional[EventBus] = None,
     ):
         """``participants`` restricts the replica set to a subset of the
         topology's sites — the Clearinghouse situation where a domain is
         stored "on as few as one, or as many as all" of the servers.
-        Traffic is still routed over the full topology."""
+        Traffic is still routed over the full topology.
+
+        ``bus`` attaches an observability event bus
+        (:mod:`repro.obs.events`); the cluster then emits the same
+        typed events the live runtime does (``update-injected``,
+        ``news-received``, ``death-cert-activated``,
+        ``cycle-completed``), timestamped in cycles."""
         if topology is None:
             if n is None:
                 raise ValueError("provide a topology or a site count n")
@@ -63,6 +70,7 @@ class Cluster:
                 raise ValueError("participants must not be empty")
             self._participants = list(participants)
         self.rng = RngRegistry(seed)
+        self.bus = bus if bus is not None else EventBus(clock=lambda: float(self.cycle))
         self.simulator = Simulator()
         self.cycle = 0
         self.sites: Dict[int, "Site"] = {}
@@ -252,6 +260,12 @@ class Cluster:
     def _after_injection(self, site_id: int, update: StoreUpdate) -> None:
         if self._tracked is not None and self._matches_tracked(update):
             self.metrics.record_receipt(site_id, float(self.cycle))
+        self.bus.emit(
+            EventKind.UPDATE_INJECTED,
+            node=site_id,
+            key=str(update.key),
+            deletion=update.entry.is_deletion,
+        )
         for protocol in self.protocols:
             protocol.on_local_update(site_id, update)
 
@@ -296,6 +310,16 @@ class Cluster:
     def notify_news(self, site_id: int, update: StoreUpdate, result: ApplyResult, via) -> None:
         if self.metrics is not None and self._matches_tracked(update):
             self.metrics.record_receipt(site_id, float(self.cycle))
+        self.bus.emit(
+            EventKind.NEWS_RECEIVED,
+            node=site_id,
+            key=str(update.key),
+            result=result.value,
+        )
+        if result is ApplyResult.RESURRECTION_BLOCKED:
+            self.bus.emit(
+                EventKind.DEATH_CERT_ACTIVATED, node=site_id, key=str(update.key)
+            )
         for protocol in self.protocols:
             if protocol is not via:
                 protocol.on_news(site_id, update, result)
@@ -344,6 +368,9 @@ class Cluster:
             protocol.run_cycle(self.cycle)
         if self.metrics is not None:
             self.metrics.cycles_run = self.cycle
+        self.bus.emit(
+            EventKind.CYCLE_COMPLETED, cycle=self.cycle, engine=self.simulator.stats()
+        )
 
     def run_cycles(self, count: int) -> None:
         for __ in range(count):

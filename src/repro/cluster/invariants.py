@@ -24,7 +24,7 @@ Checked invariants:
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Optional, Tuple
+from typing import Dict, Hashable, Tuple
 
 from repro.core.timestamps import Timestamp
 from repro.protocols.base import Protocol

@@ -3,13 +3,9 @@
 from __future__ import annotations
 
 import random
-from typing import TYPE_CHECKING
 
 from repro.core.store import ReplicaStore
 from repro.core.timestamps import SimClock
-
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.cluster.cluster import Cluster
 
 
 class Site:

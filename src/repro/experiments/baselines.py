@@ -17,10 +17,9 @@ from __future__ import annotations
 
 import dataclasses
 import random
-from typing import List, Sequence
+from typing import List
 
 from repro.cluster.cluster import Cluster
-from repro.core.store import StoreUpdate
 from repro.protocols.anti_entropy import AntiEntropyConfig, AntiEntropyProtocol
 from repro.protocols.base import ExchangeMode
 from repro.protocols.direct_mail import DirectMailProtocol

@@ -22,7 +22,6 @@ import dataclasses
 from typing import Optional
 
 from repro.cluster.cluster import Cluster
-from repro.core.store import StoreUpdate
 from repro.protocols.anti_entropy import AntiEntropyConfig, AntiEntropyProtocol
 from repro.protocols.base import ExchangeMode
 from repro.protocols.deathcerts import CertificatePolicy, DeathCertificateManager

@@ -22,7 +22,7 @@ with anti-entropy.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 from repro.cluster.cluster import Cluster
 from repro.protocols.backup import AntiEntropyBackup, RecoveryStrategy

@@ -23,7 +23,7 @@ Also here: the rumor-mongering variants of the same experiment
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.cluster.cluster import Cluster
 from repro.protocols.anti_entropy import AntiEntropyConfig, AntiEntropyProtocol

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import dataclasses
 import random
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.cluster.cluster import Cluster
 from repro.protocols.anti_entropy import AntiEntropyConfig, AntiEntropyProtocol

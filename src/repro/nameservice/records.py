@@ -10,7 +10,7 @@ a :class:`~repro.core.store.ReplicaStore` entry unchanged.
 from __future__ import annotations
 
 import dataclasses
-from typing import FrozenSet, Tuple
+from typing import FrozenSet
 
 
 @dataclasses.dataclass(frozen=True, slots=True)

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 import random
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.cluster.cluster import Cluster
 from repro.core.store import StoreUpdate

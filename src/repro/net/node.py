@@ -39,10 +39,12 @@ from repro.core.serialize import (
     encode_timestamp,
     encode_updates,
 )
-from repro.core.store import ReplicaStore, StoreUpdate
+from repro.core.store import ApplyResult, ReplicaStore, StoreUpdate
 from repro.core.timestamps import SimClock
 from repro.net.membership import Membership, PeerInfo
 from repro.net.peer import InFlightBudget, Peer, PeerError, RetryPolicy
+from repro.obs.events import EventBus, EventKind
+from repro.obs.metrics import MetricsRegistry
 from repro.net.wire import (
     MAX_FRAME_BYTES,
     Message,
@@ -95,41 +97,110 @@ class NodeConfig:
             raise ValueError("hunt_limit must be >= 0")
 
 
-@dataclasses.dataclass(slots=True)
+#: NodeStats scalar counters and the registry families backing them.
+_SCALAR_COUNTERS = {
+    "exchanges": (
+        "repro_exchanges_total", "Anti-entropy conversations initiated"),
+    "checksum_successes": (
+        "repro_checksum_successes_total",
+        "Exchanges settled by the Section 1.3 checksum phase alone"),
+    "updates_shipped": (
+        "repro_updates_shipped_total", "Database entries sent to peers"),
+    "updates_absorbed": (
+        "repro_updates_absorbed_total", "News applied from peers"),
+    "rumors_started": (
+        "repro_rumors_started_total", "Hot rumors started at this node"),
+    "rejections_in": (
+        "repro_rejections_in_total", "Inbound conversations this node refused"),
+    "rejections_out": (
+        "repro_rejections_out_total", "Refusals this node received"),
+    "hunts": (
+        "repro_hunts_total", "Extra partner draws after refusals or failures"),
+    "peer_failures": (
+        "repro_peer_failures_total", "Conversations dead after all retries"),
+}
+
+
 class NodeStats:
     """Counters a node keeps about its own traffic.
+
+    Since the observability layer landed these are backed by a
+    :class:`repro.obs.metrics.MetricsRegistry` — the same numbers are
+    exported as labeled Prometheus/JSON series over the ``STATUS`` wire
+    message — but the historical attribute API is preserved: read and
+    ``+=`` the scalar counters (``stats.exchanges += 1``), and read
+    ``frames_sent`` / ``frames_received`` as plain per-type dicts.
 
     ``received`` maps each key to the wall-clock moment this node first
     learned news about it — the per-site receipt times from which the
     demo harness computes the paper's ``t_ave``/``t_last`` delays.
     """
 
-    frames_sent: Dict[str, int] = dataclasses.field(default_factory=dict)
-    frames_received: Dict[str, int] = dataclasses.field(default_factory=dict)
-    exchanges: int = 0               # anti-entropy conversations initiated
-    checksum_successes: int = 0      # exchanges settled without full compare
-    updates_shipped: int = 0         # entries sent to peers
-    updates_absorbed: int = 0        # news applied from peers
-    rumors_started: int = 0
-    rejections_in: int = 0           # conversations this node refused
-    rejections_out: int = 0          # refusals this node received
-    hunts: int = 0                   # extra partner draws after refusals
-    peer_failures: int = 0           # conversations dead after all retries
-    received: Dict[Hashable, float] = dataclasses.field(default_factory=dict)
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.received: Dict[Hashable, float] = {}
+        self._frames_sent = self.registry.counter(
+            "repro_frames_sent_total", "Frames sent, by message type",
+            labels=("type",),
+        )
+        self._frames_received = self.registry.counter(
+            "repro_frames_received_total", "Frames received, by message type",
+            labels=("type",),
+        )
+        self.exchange_seconds = self.registry.histogram(
+            "repro_exchange_seconds",
+            "Latency of one initiated anti-entropy conversation (seconds)",
+        )
+        self._scalars = {
+            attr: self.registry.counter(name, help)
+            for attr, (name, help) in _SCALAR_COUNTERS.items()
+        }
 
     def count_sent(self, kind: MessageType, n: int = 1) -> None:
-        self.frames_sent[kind.value] = self.frames_sent.get(kind.value, 0) + n
+        self._frames_sent.inc(n, type=kind.value)
 
     def count_received(self, kind: MessageType, n: int = 1) -> None:
-        self.frames_received[kind.value] = self.frames_received.get(kind.value, 0) + n
+        self._frames_received.inc(n, type=kind.value)
+
+    @property
+    def frames_sent(self) -> Dict[str, int]:
+        return {
+            labels["type"]: int(cell.value)
+            for labels, cell in self._frames_sent.labeled_series()
+        }
+
+    @property
+    def frames_received(self) -> Dict[str, int]:
+        return {
+            labels["type"]: int(cell.value)
+            for labels, cell in self._frames_received.labeled_series()
+        }
 
     @property
     def frames_sent_total(self) -> int:
-        return sum(self.frames_sent.values())
+        return int(self._frames_sent.total())
 
     @property
     def frames_received_total(self) -> int:
-        return sum(self.frames_received.values())
+        return int(self._frames_received.total())
+
+
+def _scalar_counter_property(attr: str) -> property:
+    def getter(self: NodeStats) -> int:
+        return int(self._scalars[attr].value())
+
+    def setter(self: NodeStats, value: int) -> None:
+        delta = value - int(self._scalars[attr].value())
+        if delta < 0:
+            raise ValueError(f"NodeStats.{attr} is a counter; it only goes up")
+        if delta:
+            self._scalars[attr].inc(delta)
+
+    return property(getter, setter, doc=_SCALAR_COUNTERS[attr][1])
+
+
+for _attr in _SCALAR_COUNTERS:
+    setattr(NodeStats, _attr, _scalar_counter_property(_attr))
 
 
 @dataclasses.dataclass(slots=True)
@@ -149,16 +220,18 @@ class GossipNode:
         membership: Membership,
         config: NodeConfig = NodeConfig(),
         seed: Optional[int] = None,
+        bus: Optional[EventBus] = None,
     ):
         self.info: PeerInfo = membership.get(node_id)
         self.node_id = node_id
         self.membership = membership
         self.config = config
+        self.bus = bus if bus is not None else EventBus()
         self.store = ReplicaStore(
             site_id=node_id, clock=SimClock(site=node_id, time_source=time.time)
         )
         self.peers: Dict[int, Peer] = {
-            peer.node_id: Peer(peer, config.retry)
+            peer.node_id: Peer(peer, config.retry, observer=self._peer_event)
             for peer in membership.others(node_id)
         }
         self._selector = membership.selector(config.selector) if len(membership) > 1 else None
@@ -168,6 +241,7 @@ class GossipNode:
         self._inbound_active = 0
         self._server: Optional[asyncio.base_events.Server] = None
         self._tasks: List[asyncio.Task] = []
+        self._started_at = time.time()
         self.stats = NodeStats()
 
     # ------------------------------------------------------------------
@@ -185,6 +259,7 @@ class GossipNode:
             self._server = await asyncio.start_server(
                 self._serve, self.info.host, self.info.port
             )
+        self._started_at = time.time()
         self._tasks = [
             asyncio.create_task(
                 self._periodic(self.config.anti_entropy_interval, self.run_anti_entropy_once),
@@ -245,12 +320,18 @@ class GossipNode:
     def inject(self, key: Hashable, value: Any) -> StoreUpdate:
         """A client write at this node; becomes a hot rumor."""
         update = self.store.update(key, value)
+        self.bus.emit(
+            EventKind.UPDATE_INJECTED, node=self.node_id, key=str(key), deletion=False
+        )
         self._note_news([update])
         self._make_hot(update)
         return update
 
     def delete(self, key: Hashable) -> StoreUpdate:
         update = self.store.delete(key)
+        self.bus.emit(
+            EventKind.UPDATE_INJECTED, node=self.node_id, key=str(key), deletion=True
+        )
         self._note_news([update])
         self._make_hot(update)
         return update
@@ -269,6 +350,15 @@ class GossipNode:
                 self.stats.hunts += 1
             partner_id = self._selector.choose(self.node_id, self._rng)
             peer = self.peers[partner_id]
+            self.bus.emit(
+                EventKind.EXCHANGE_STARTED,
+                node=self.node_id,
+                partner=partner_id,
+                mode=self.config.mode.value,
+                strategy=self.config.strategy,
+                attempt=attempt,
+            )
+            began = time.monotonic()
             try:
                 async with self._budget:
                     accepted = await self._anti_entropy_with(peer)
@@ -277,21 +367,33 @@ class GossipNode:
                 continue  # partner down: hunt for another, like a busy site
             if accepted:
                 self.stats.exchanges += 1
+                self.stats.exchange_seconds.observe(time.monotonic() - began)
                 return True
             self.stats.rejections_out += 1
+            self.bus.emit(
+                EventKind.REJECTION,
+                node=self.node_id,
+                partner=partner_id,
+                direction="out",
+            )
         return False
 
     async def _anti_entropy_with(self, peer: Peer) -> bool:
         """Returns False when the partner refused the conversation."""
         mode = self.config.mode
+        shipped = received = 0
+        via = "full"
         if self.config.strategy == "checksum":
-            settled = await self._checksum_phase(peer, mode)
-            if settled is None:
+            phase = await self._checksum_phase(peer, mode)
+            if phase is None:
                 return False  # refused
+            settled, shipped, received = phase
             if settled:
                 self.stats.checksum_successes += 1
+                self._settled(peer, mode, "checksum", shipped, received)
                 return True
             # Checksums still disagree: fall through to a full exchange.
+            via = "checksum+full"
         session = ExchangeSession(self.store, mode)
         offered = session.offer()
         request_type = (
@@ -307,19 +409,46 @@ class GossipNode:
         )
         if _rejected(reply):
             return False
-        self.stats.updates_shipped += len(offered) if mode.pushes else 0
+        sent = len(offered) if mode.pushes else 0
+        self.stats.updates_shipped += sent
+        shipped += sent
         if reply.type is MessageType.PULL_REPLY:
-            absorbed = session.absorb(payload_updates(reply.payload))
+            incoming = payload_updates(reply.payload)
+            received += len(incoming)
+            absorbed = session.absorb(incoming)
             self.stats.updates_absorbed += len(absorbed)
             self._note_news(absorbed)
+        self._settled(peer, mode, via, shipped, received)
         return True
 
-    async def _checksum_phase(self, peer: Peer, mode: ExchangeMode) -> Optional[bool]:
+    def _settled(
+        self, peer: Peer, mode: ExchangeMode, via: str, shipped: int, received: int
+    ) -> None:
+        """One accepted anti-entropy conversation, fully accounted.
+
+        ``shipped``/``received`` count every entry that crossed the wire
+        in either direction, so summing ``exchange-settled`` events
+        reproduces the paper's update-traffic ``m`` exactly as the
+        per-node ``repro_updates_shipped_total`` counters do.
+        """
+        self.bus.emit(
+            EventKind.EXCHANGE_SETTLED,
+            node=self.node_id,
+            partner=peer.node_id,
+            mode=mode.value,
+            via=via,
+            shipped=shipped,
+            received=received,
+        )
+
+    async def _checksum_phase(
+        self, peer: Peer, mode: ExchangeMode
+    ) -> Optional[tuple]:
         """Section 1.3's cheap first phase over the wire.
 
-        Returns True when the checksums agree after exchanging recent
-        update lists, False when a full comparison is still needed, and
-        ``None`` when the partner refused the conversation.
+        Returns ``(settled, shipped, received)`` — ``settled`` is True
+        when the checksums agree after exchanging recent update lists —
+        or ``None`` when the partner refused the conversation.
         """
         recent = self.store.recent_updates(self.config.tau) if mode.pushes else []
         reply = await self._call(
@@ -341,11 +470,18 @@ class GossipNode:
             raise WireError(f"expected CHECKSUM reply, got {reply.type.value}")
         self.stats.updates_shipped += len(recent)
         session = ExchangeSession(self.store, mode)
-        absorbed = session.absorb(payload_updates(reply.payload))
+        incoming = payload_updates(reply.payload)
+        absorbed = session.absorb(incoming)
         self.stats.updates_absorbed += len(absorbed)
         self._note_news(absorbed)
         theirs = reply.payload.get("checksum")
-        return isinstance(theirs, int) and theirs == self.store.checksum
+        settled = isinstance(theirs, int) and theirs == self.store.checksum
+        self.bus.emit(
+            EventKind.CHECKSUM_HIT if settled else EventKind.CHECKSUM_MISS,
+            node=self.node_id,
+            partner=peer.node_id,
+        )
+        return settled, len(recent), len(incoming)
 
     # ------------------------------------------------------------------
     # Outbound: rumor mongering
@@ -374,8 +510,20 @@ class GossipNode:
             return False
         if _rejected(reply):
             self.stats.rejections_out += 1
+            self.bus.emit(
+                EventKind.REJECTION,
+                node=self.node_id,
+                partner=partner_id,
+                direction="out",
+            )
             return False
         self.stats.updates_shipped += len(updates)
+        self.bus.emit(
+            EventKind.RUMOR_SENT,
+            node=self.node_id,
+            partner=partner_id,
+            shipped=len(updates),
+        )
         news = reply.payload.get("news", [])
         for index, rumor in enumerate(rumors):
             was_news = bool(news[index]) if index < len(news) else False
@@ -384,6 +532,12 @@ class GossipNode:
             rumor.counter += 1
             if rumor.counter >= self.config.rumor_k:
                 self._hot.pop(rumor.update.key, None)
+                self.bus.emit(
+                    EventKind.RUMOR_DEAD,
+                    node=self.node_id,
+                    key=str(rumor.update.key),
+                    counter=rumor.counter,
+                )
         return True
 
     def _make_hot(self, update: StoreUpdate) -> None:
@@ -392,6 +546,7 @@ class GossipNode:
             return
         self._hot[update.key] = _HotRumor(update=update)
         self.stats.rumors_started += 1
+        self.bus.emit(EventKind.RUMOR_HOT, node=self.node_id, key=str(update.key))
 
     @property
     def hot_rumor_count(self) -> int:
@@ -424,10 +579,24 @@ class GossipNode:
 
     def _handle(self, message: Message) -> Optional[Message]:
         """Dispatch one inbound frame; returns the reply frame."""
+        if message.type is MessageType.STATUS:
+            # Introspection is served even while gossip is being
+            # refused: an overloaded node must stay observable.
+            return Message(
+                type=MessageType.STATUS,
+                sender=self.node_id,
+                payload=self.status_payload(),
+            )
         if self._inbound_active >= self.config.connection_limit:
             # The busy-server refusal of Section 1.4: the initiator may
             # hunt for another partner.
             self.stats.rejections_in += 1
+            self.bus.emit(
+                EventKind.REJECTION,
+                node=self.node_id,
+                partner=message.sender,
+                direction="in",
+            )
             return self._ack({"rejected": True})
         self._inbound_active += 1
         try:
@@ -491,10 +660,11 @@ class GossipNode:
         updates = payload_updates(message.payload)
         news: List[bool] = []
         for update in updates:
-            was_news = self.store.apply_update(update).was_news
-            news.append(was_news)
-            if was_news:
+            result = self.store.apply_update(update)
+            news.append(result.was_news)
+            if result.was_news:
                 self._note_news([update])
+                self._note_reactivation(update, result)
                 self._make_hot(update)  # infection: the rumor spreads here too
         self.stats.updates_absorbed += sum(news)
         return self._ack({"news": news})
@@ -511,10 +681,11 @@ class GossipNode:
         updates = payload_updates(payload)
         news: List[bool] = []
         for update in updates:
-            was_news = self.store.apply_update(update).was_news
-            news.append(was_news)
-            if was_news:
+            result = self.store.apply_update(update)
+            news.append(result.was_news)
+            if result.was_news:
                 self._note_news([update])
+                self._note_reactivation(update, result)
         self.stats.updates_absorbed += sum(news)
         return self._ack({"news": news})
 
@@ -538,6 +709,37 @@ class GossipNode:
             "hot_rumors": len(self._hot),
         }
 
+    def status_payload(self) -> Dict[str, Any]:
+        """The ``STATUS`` introspection reply: identity, S/I/R census,
+        receipt times, and the full metrics-registry snapshot."""
+        hot_keys = sorted(str(key) for key in self._hot)
+        entries = len(self.store)
+        return {
+            "node": self.node_id,
+            "roster_size": len(self.membership),
+            "uptime_seconds": time.time() - self._started_at,
+            "checksum": self.store.checksum,
+            "entries": entries,
+            "census": {
+                # This node's own S/I/R view over the keys it stores:
+                # hot rumors are infective, the rest removed.  A node
+                # cannot see its own susceptibility — assemble the
+                # cluster-wide census by asking every roster member.
+                "infective": len(hot_keys),
+                "removed": max(entries - len(hot_keys), 0),
+            },
+            "hot_keys": hot_keys,
+            "received": {str(key): t for key, t in self.stats.received.items()},
+            "config": {
+                "mode": self.config.mode.value,
+                "strategy": self.config.strategy,
+                "selector": self.config.selector,
+                "anti_entropy_interval": self.config.anti_entropy_interval,
+                "rumor_interval": self.config.rumor_interval,
+            },
+            "metrics": self.stats.registry.snapshot(),
+        }
+
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
@@ -554,7 +756,35 @@ class GossipNode:
     def _note_news(self, updates: List[StoreUpdate]) -> None:
         now = time.time()
         for update in updates:
-            self.stats.received.setdefault(update.key, now)
+            if update.key not in self.stats.received:
+                self.stats.received[update.key] = now
+                self.bus.emit(
+                    EventKind.NEWS_RECEIVED,
+                    node=self.node_id,
+                    time=now,
+                    key=str(update.key),
+                )
+
+    def _note_reactivation(self, update: StoreUpdate, result: ApplyResult) -> None:
+        if result is ApplyResult.RESURRECTION_BLOCKED:
+            # A dormant death certificate met obsolete data and woke up
+            # (Section 2's antibody); the same event the simulator emits.
+            self.bus.emit(
+                EventKind.DEATH_CERT_ACTIVATED,
+                node=self.node_id,
+                key=str(update.key),
+            )
+
+    def _peer_event(
+        self, kind: str, info: PeerInfo, attempt: int, error: BaseException
+    ) -> None:
+        self.bus.emit(
+            EventKind.PEER_RETRY if kind == "retry" else EventKind.PEER_FAILURE,
+            node=self.node_id,
+            partner=info.node_id,
+            attempt=attempt,
+            error=type(error).__name__,
+        )
 
 
 def _rejected(reply: Message) -> bool:

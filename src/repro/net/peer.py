@@ -18,10 +18,16 @@ from __future__ import annotations
 
 import asyncio
 import dataclasses
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.net.membership import PeerInfo
 from repro.net.wire import Message, WireError, encode_message, read_message
+
+#: Observer signature: ``observer(kind, peer_info, attempt, error)`` with
+#: ``kind`` one of ``"retry"`` (another attempt follows) or ``"failure"``
+#: (the call is exhausted).  Used by :class:`repro.net.node.GossipNode`
+#: to emit ``peer-retry`` / ``peer-failure`` observability events.
+PeerObserver = Callable[[str, PeerInfo, int, BaseException], None]
 
 
 class PeerError(Exception):
@@ -74,9 +80,15 @@ class Peer:
     paper's model of a conversation as an exclusive connection.
     """
 
-    def __init__(self, info: PeerInfo, policy: RetryPolicy = RetryPolicy()):
+    def __init__(
+        self,
+        info: PeerInfo,
+        policy: RetryPolicy = RetryPolicy(),
+        observer: Optional[PeerObserver] = None,
+    ):
         self.info = info
         self.policy = policy
+        self.observer = observer
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._lock = asyncio.Lock()
@@ -107,12 +119,21 @@ class Peer:
                     self.failures += 1
                     await self._teardown()
                     if attempt < len(backoffs):
+                        self._observe("retry", attempt, error)
                         await asyncio.sleep(backoffs[attempt])
             self.exhausted += 1
+            self._observe("failure", policy.attempts, last_error)
             raise PeerError(
                 f"{self.info}: no reply after {policy.attempts} attempts "
                 f"({type(last_error).__name__}: {last_error})"
             ) from last_error
+
+    def _observe(self, kind: str, attempt: int, error: Optional[BaseException]) -> None:
+        if self.observer is not None and error is not None:
+            try:
+                self.observer(kind, self.info, attempt, error)
+            except Exception:
+                pass  # observability must never break the conversation
 
     async def _call_once(self, message: Message) -> Message:
         reader, writer = await self._ensure_connected()

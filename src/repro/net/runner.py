@@ -8,15 +8,21 @@ over the wire, with MAIL injections and CHECKSUM probes.
 :func:`live_demo` is the measurement harness behind
 ``python -m repro live-demo``: inject one update, optionally kill and
 restart a node mid-run, wait for every store's checksum to agree, and
-report the paper's delay metrics (``t_ave``, ``t_last`` — computed with
-the same :class:`~repro.sim.metrics.EpidemicMetrics` definitions the
-simulator uses) plus per-site message traffic.
+report the paper's observables.  All nodes share one
+:class:`~repro.obs.events.EventBus`; a
+:class:`~repro.obs.convergence.ConvergenceTracker` sink on that bus is
+the *only* source of the reported ``t_ave`` / ``t_last`` / ``residue``
+/ traffic numbers — so replaying a ``--trace-file`` JSONL through
+:meth:`ConvergenceTracker.from_events` reproduces the printed report
+exactly.
 """
 
 from __future__ import annotations
 
 import asyncio
 import dataclasses
+import json
+import math
 import socket
 import time
 from typing import Any, Dict, List, Optional
@@ -25,7 +31,8 @@ from repro.net.membership import Membership
 from repro.net.node import GossipNode, NodeConfig
 from repro.net.peer import Peer, PeerError, RetryPolicy
 from repro.net.wire import Message, MessageType
-from repro.sim.metrics import EpidemicMetrics
+from repro.obs.convergence import ConvergenceTracker
+from repro.obs.events import HARNESS_NODE, EventBus, EventKind, JsonlTraceWriter
 
 #: Sender id the harness uses on the wire; negative ids are reserved
 #: for clients that are not roster members.
@@ -50,25 +57,37 @@ def _bind_ephemeral(n: int, host: str = "127.0.0.1") -> List[socket.socket]:
 class LiveCluster:
     """N gossip nodes on localhost, plus a client-side view of them."""
 
-    def __init__(self, membership: Membership, config: NodeConfig):
+    def __init__(
+        self,
+        membership: Membership,
+        config: NodeConfig,
+        bus: Optional[EventBus] = None,
+    ):
         self.membership = membership
         self.config = config
+        # One bus for the whole cluster: every node (including ones
+        # restarted after a kill) emits into the same event stream.
+        self.bus = bus if bus is not None else EventBus()
         self.nodes: Dict[int, GossipNode] = {}
         self._probes: Dict[int, Peer] = {}
 
     @classmethod
     async def launch(
-        cls, n: int, config: NodeConfig = NodeConfig(), host: str = "127.0.0.1"
+        cls,
+        n: int,
+        config: NodeConfig = NodeConfig(),
+        host: str = "127.0.0.1",
+        bus: Optional[EventBus] = None,
     ) -> "LiveCluster":
         if n < 2:
             raise ValueError("a cluster needs at least two nodes")
         socks = _bind_ephemeral(n, host)
         ports = [sock.getsockname()[1] for sock in socks]
         membership = Membership.localhost(ports, host=host)
-        cluster = cls(membership, config)
+        cluster = cls(membership, config, bus=bus)
         try:
             for node_id, sock in enumerate(socks):
-                node = GossipNode(node_id, membership, config)
+                node = GossipNode(node_id, membership, config, bus=cluster.bus)
                 await node.start(sock=sock)
                 cluster.nodes[node_id] = node
         except BaseException:
@@ -101,7 +120,7 @@ class LiveCluster:
         """
         if node_id in self.nodes:
             raise ValueError(f"node {node_id} is still running")
-        node = GossipNode(node_id, self.membership, self.config)
+        node = GossipNode(node_id, self.membership, self.config, bus=self.bus)
         await node.start()
         self.nodes[node_id] = node
         return node
@@ -143,6 +162,21 @@ class LiveCluster:
         results: Dict[int, Dict[str, Any]] = {}
         for node_id in sorted(self.nodes):
             results[node_id] = await self.probe(node_id)
+        return results
+
+    async def status(self, node_id: int) -> Dict[str, Any]:
+        """STATUS introspection of one node: identity, census, and its
+        full metrics-registry snapshot (served even while gossip
+        conversations are being refused)."""
+        reply = await self._probe_peer(node_id).call(
+            Message(type=MessageType.STATUS, sender=CLIENT_ID)
+        )
+        return reply.payload
+
+    async def status_all(self) -> Dict[int, Dict[str, Any]]:
+        results: Dict[int, Dict[str, Any]] = {}
+        for node_id in sorted(self.nodes):
+            results[node_id] = await self.status(node_id)
         return results
 
     async def converged(self, key: Optional[str] = None) -> bool:
@@ -193,8 +227,14 @@ class NodeReport:
 
 
 @dataclasses.dataclass(slots=True)
-class LiveDemoReport:
-    """What one live-demo run measured."""
+class ClusterReport:
+    """What one live-demo run measured.
+
+    The headline numbers (``t_ave``, ``t_last``, ``residue``,
+    ``updates_per_site``) come from the cluster-wide event stream via
+    :class:`~repro.obs.convergence.ConvergenceTracker`; the per-node
+    rows come from each node's own counters, probed over the wire.
+    """
 
     n: int
     key: str
@@ -206,6 +246,14 @@ class LiveDemoReport:
     updates_per_site: float          # the paper's m, over live nodes
     nodes: List[NodeReport]
     churned_node: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form (``--json``); NaN delays become null."""
+        blob = dataclasses.asdict(self)
+        for field in ("t_ave", "t_last"):
+            if math.isnan(blob[field]):
+                blob[field] = None
+        return blob
 
     def lines(self) -> List[str]:
         out = [
@@ -236,6 +284,10 @@ class LiveDemoReport:
         return out
 
 
+#: Backwards-compatible alias for the pre-rename report type.
+LiveDemoReport = ClusterReport
+
+
 async def live_demo(
     nodes: int = 8,
     config: NodeConfig = NodeConfig(),
@@ -243,42 +295,74 @@ async def live_demo(
     timeout: float = 30.0,
     key: str = "printer:bldg-35",
     value: Any = "10.0.7.12",
-) -> LiveDemoReport:
+    trace_file: Optional[str] = None,
+    metrics_file: Optional[str] = None,
+) -> ClusterReport:
     """Boot a cluster, inject one update, measure its epidemic.
 
     With ``churn=True`` the highest-numbered node is killed right after
     the injection and restarted (with an empty store) once the others
     have converged — demonstrating that losing a node never blocks the
     rest, and that anti-entropy repopulates a recovered replica.
-    """
-    cluster = await LiveCluster.launch(nodes, config)
-    victim = max(cluster.nodes) if churn else None
-    try:
-        injected_at = time.time()
-        await cluster.inject(0, key, value)
-        if victim is not None:
-            await cluster.kill(victim)
-            survivors_ok = await cluster.wait_converged(key, timeout=timeout)
-            await cluster.restart(victim)
-            converged = survivors_ok and await cluster.wait_converged(
-                key, timeout=timeout
-            )
-        else:
-            converged = await cluster.wait_converged(key, timeout=timeout)
-        wall = time.time() - injected_at
-        probes = await cluster.probe_all()
-    finally:
-        await cluster.stop()
 
-    metrics = EpidemicMetrics(n=len(probes), injection_time=injected_at)
+    ``trace_file`` streams every bus event to a JSONL file
+    (:class:`~repro.obs.events.JsonlTraceWriter`); the run opens with a
+    ``run-started`` event so :meth:`ConvergenceTracker.from_events` can
+    recompute this function's exact report from the trace alone.
+    ``metrics_file`` dumps each node's final STATUS snapshot (metrics
+    registry included) as one JSON object keyed by node id.
+    """
+    bus = EventBus()
+    tracker = ConvergenceTracker(n=nodes, key=key)
+    bus.add_sink(tracker.observe)
+    writer = JsonlTraceWriter(trace_file) if trace_file is not None else None
+    if writer is not None:
+        bus.add_sink(writer)
+    statuses: Dict[int, Dict[str, Any]] = {}
+    try:
+        cluster = await LiveCluster.launch(nodes, config, bus=bus)
+        victim = max(cluster.nodes) if churn else None
+        try:
+            bus.emit(
+                EventKind.RUN_STARTED,
+                node=HARNESS_NODE,
+                n=nodes,
+                key=key,
+                churn=churn,
+            )
+            injected_at = time.time()
+            await cluster.inject(0, key, value)
+            if victim is not None:
+                await cluster.kill(victim)
+                survivors_ok = await cluster.wait_converged(key, timeout=timeout)
+                await cluster.restart(victim)
+                converged = survivors_ok and await cluster.wait_converged(
+                    key, timeout=timeout
+                )
+            else:
+                converged = await cluster.wait_converged(key, timeout=timeout)
+            wall = time.time() - injected_at
+            probes = await cluster.probe_all()
+            if metrics_file is not None:
+                statuses = await cluster.status_all()
+        finally:
+            await cluster.stop()
+    finally:
+        if writer is not None:
+            bus.remove_sink(writer)
+            writer.close()
+    if metrics_file is not None:
+        with open(metrics_file, "w", encoding="utf-8") as handle:
+            json.dump(
+                {str(node_id): status for node_id, status in statuses.items()},
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
+            handle.write("\n")
+
     rows: List[NodeReport] = []
-    total_updates = 0
     for node_id, payload in sorted(probes.items()):
-        receipt = payload["received"].get(key)
-        if receipt is not None:
-            metrics.record_receipt(node_id, receipt)
-        metrics.record_update_send(payload["updates_shipped"])
-        total_updates += payload["updates_shipped"]
         rows.append(
             NodeReport(
                 node_id=node_id,
@@ -289,21 +373,41 @@ async def live_demo(
                 frames_sent=sum(payload["frames_sent"].values()),
                 frames_received=sum(payload["frames_received"].values()),
                 rejections=payload["rejections_in"] + payload["rejections_out"],
-                receipt_delay=(receipt - injected_at) if receipt is not None else None,
+                receipt_delay=tracker.delay_of(node_id),
             )
         )
-    return LiveDemoReport(
+    return ClusterReport(
         n=nodes,
         key=key,
         converged=converged,
         wall_seconds=wall,
-        t_ave=metrics.t_ave,
-        t_last=metrics.t_last,
-        residue=metrics.residue,
-        updates_per_site=metrics.traffic_per_site,
+        t_ave=tracker.t_ave,
+        t_last=tracker.t_last,
+        residue=tracker.residue,
+        updates_per_site=tracker.traffic_per_site,
         nodes=rows,
         churned_node=victim,
     )
+
+
+async def query_status(config_path: str, node_id: int) -> Dict[str, Any]:
+    """Ask one roster node for its STATUS snapshot, over TCP.
+
+    The client side of ``python -m repro status --config ... --id N``:
+    loads the membership roster, sends one ``STATUS`` frame, and
+    returns the reply payload (identity, S/I/R census, receipt times,
+    metrics-registry snapshot).
+    """
+    membership = Membership.load(config_path)
+    peer = Peer(
+        membership.get(node_id),
+        RetryPolicy(connect_timeout=2.0, io_timeout=5.0, attempts=2),
+    )
+    try:
+        reply = await peer.call(Message(type=MessageType.STATUS, sender=CLIENT_ID))
+    finally:
+        await peer.close()
+    return reply.payload
 
 
 async def serve_node(

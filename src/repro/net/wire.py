@@ -30,6 +30,10 @@ Message types map onto the paper's mechanisms:
 ``MAIL``                  direct mail between peers, or a client injection
                           (``{"key": ..., "value": ...}``) stamped by the
                           receiving node's clock
+``STATUS``                live introspection: any client can ask a node for
+                          its metrics-registry snapshot and S/I/R census; the
+                          reply is a ``STATUS`` frame and is served even when
+                          the node is refusing gossip conversations
 ``ACK``                   generic reply: feedback, probe results, rejections
 ========================  ====================================================
 
@@ -71,6 +75,7 @@ class MessageType(enum.Enum):
     CHECKSUM = "checksum"
     RUMOR = "rumor"
     MAIL = "mail"
+    STATUS = "status"
     ACK = "ack"
 
 

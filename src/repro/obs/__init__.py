@@ -1,0 +1,47 @@
+"""Runtime-agnostic observability: events, metrics, convergence.
+
+One instrumentation layer for both runtimes.  The simulator
+(:mod:`repro.cluster`) and the live asyncio nodes (:mod:`repro.net`)
+emit the same typed events onto an :class:`EventBus` and count into the
+same :class:`MetricsRegistry`; :class:`ConvergenceTracker` turns either
+stream into the paper's residue / traffic / delay observables.  See
+``docs/observability.md`` for the event taxonomy, metric names, and
+trace schema.
+"""
+
+from repro.obs.convergence import ConvergenceReport, ConvergenceTracker
+from repro.obs.events import (
+    Event,
+    EventBus,
+    EventKind,
+    HARNESS_NODE,
+    JsonlTraceWriter,
+    RingBufferSink,
+    TraceError,
+    read_trace,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+)
+
+__all__ = [
+    "ConvergenceReport",
+    "ConvergenceTracker",
+    "Counter",
+    "Event",
+    "EventBus",
+    "EventKind",
+    "Gauge",
+    "HARNESS_NODE",
+    "Histogram",
+    "JsonlTraceWriter",
+    "MetricError",
+    "MetricsRegistry",
+    "RingBufferSink",
+    "TraceError",
+    "read_trace",
+]

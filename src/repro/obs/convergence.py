@@ -1,0 +1,221 @@
+"""Shared convergence accounting: residue, traffic, t_ave, t_last.
+
+Section 1.4 judges every distribution mechanism by the same three
+observables.  This module is the single implementation of that math,
+used by three consumers:
+
+* the simulator — :class:`repro.sim.metrics.EpidemicMetrics` *is* a
+  :class:`ConvergenceTracker` (a subclass, kept for its import path);
+* the live runner — ``repro.net.runner.live_demo`` feeds the tracker
+  from the event bus instead of doing its own delay arithmetic;
+* trace files — :meth:`ConvergenceTracker.from_events` replays a JSONL
+  trace (:func:`repro.obs.events.read_trace`) and recomputes the same
+  numbers the run reported, so results are auditable after the fact.
+
+Time units are whatever the event source used (cycles in the
+simulator, wall-clock seconds live); the tracker only subtracts them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Any, Dict, Hashable, Iterable, List, Optional
+
+from repro.obs.events import Event, EventKind
+
+
+class ConvergenceTracker:
+    """Spread statistics for one update epidemic through ``n`` sites.
+
+    Feed it directly (:meth:`record_receipt` and friends) or from an
+    event stream (:meth:`observe` / :meth:`from_events`).  Both the
+    simulator and the live runtime use *this* object, so "residue" or
+    "t_ave" can never mean two subtly different things again.
+    """
+
+    def __init__(self, n: int, injection_time: float = 0.0, key: Optional[str] = None):
+        if n <= 0:
+            raise ValueError("need at least one site")
+        self.n = n
+        self.injection_time = injection_time
+        self.key = key
+        self.receipt_times: Dict[Hashable, float] = {}
+        self.update_sends = 0
+        self.comparisons = 0
+        self.cycles_run = 0
+        self.rejected_connections = 0
+
+    # -- direct recording --------------------------------------------------
+
+    def record_receipt(self, site: Hashable, time: float) -> None:
+        """Record the first time ``site`` learned the update."""
+        if site not in self.receipt_times:
+            self.receipt_times[site] = time
+
+    def record_update_send(self, count: int = 1) -> None:
+        self.update_sends += count
+
+    def record_comparison(self, count: int = 1) -> None:
+        self.comparisons += count
+
+    def record_rejection(self, count: int = 1) -> None:
+        self.rejected_connections += count
+
+    # -- event-stream recording --------------------------------------------
+
+    def _tracks(self, event: Event) -> bool:
+        if self.key is None:
+            return True
+        return event.payload.get("key") == self.key
+
+    def observe(self, event: Event) -> None:
+        """Consume one bus event (usable as a sink: ``bus.add_sink(tracker.observe)``)."""
+        kind = event.kind
+        if kind is EventKind.UPDATE_INJECTED:
+            if self._tracks(event):
+                if not self.receipt_times:
+                    # First injection of the tracked key defines t = 0.
+                    self.injection_time = event.time
+                self.record_receipt(event.node, event.time)
+        elif kind is EventKind.NEWS_RECEIVED:
+            if self._tracks(event):
+                self.record_receipt(event.node, event.time)
+        elif kind is EventKind.EXCHANGE_SETTLED:
+            # shipped + received covers both directions of the
+            # conversation, matching the sum of the two nodes'
+            # updates_shipped counters.
+            self.record_update_send(
+                int(event.payload.get("shipped", 0))
+                + int(event.payload.get("received", 0))
+            )
+            self.record_comparison()
+        elif kind is EventKind.RUMOR_SENT:
+            self.record_update_send(int(event.payload.get("shipped", 0)))
+        elif kind is EventKind.REJECTION:
+            # Both halves of a refusal are evented (direction in/out);
+            # count each refused conversation once, on the initiator.
+            if event.payload.get("direction") != "in":
+                self.record_rejection()
+        elif kind is EventKind.CYCLE_COMPLETED:
+            self.cycles_run = max(self.cycles_run, int(event.payload.get("cycle", 0)))
+
+    @classmethod
+    def from_events(
+        cls,
+        events: Iterable[Event],
+        key: Optional[str] = None,
+        n: Optional[int] = None,
+    ) -> "ConvergenceTracker":
+        """Rebuild a tracker by replaying an event stream.
+
+        ``n`` defaults to the ``run-started`` event's ``n`` field; the
+        tracked ``key`` likewise defaults to the one announced there.
+        Raises :class:`ValueError` when neither source provides ``n``.
+        """
+        events = iter(events)
+        buffered: List[Event] = []
+        for event in events:
+            buffered.append(event)
+            if event.kind is EventKind.RUN_STARTED:
+                if n is None:
+                    n = event.payload.get("n")
+                if key is None:
+                    key = event.payload.get("key")
+                break
+        if n is None:
+            raise ValueError(
+                "population size unknown: pass n= or include a run-started event"
+            )
+        tracker = cls(n=int(n), key=key)
+        for event in buffered:
+            tracker.observe(event)
+        for event in events:
+            tracker.observe(event)
+        return tracker
+
+    # -- derived quantities ------------------------------------------------
+
+    @property
+    def infected(self) -> int:
+        return len(self.receipt_times)
+
+    @property
+    def residue(self) -> float:
+        """Fraction of sites that never received the update."""
+        return (self.n - self.infected) / self.n
+
+    @property
+    def traffic_per_site(self) -> float:
+        """The paper's ``m``: update messages sent per site."""
+        return self.update_sends / self.n
+
+    def delays(self) -> List[float]:
+        return [t - self.injection_time for t in self.receipt_times.values()]
+
+    @property
+    def t_ave(self) -> float:
+        """Mean injection-to-arrival delay over receiving sites."""
+        delays = self.delays()
+        if not delays:
+            return math.nan
+        return sum(delays) / len(delays)
+
+    @property
+    def t_last(self) -> float:
+        """Delay until the last receiving site got the update."""
+        delays = self.delays()
+        if not delays:
+            return math.nan
+        return max(delays)
+
+    @property
+    def complete(self) -> bool:
+        return self.infected == self.n
+
+    def delay_of(self, site: Hashable) -> Optional[float]:
+        """One site's injection-to-arrival delay (None: never received)."""
+        receipt = self.receipt_times.get(site)
+        if receipt is None:
+            return None
+        return receipt - self.injection_time
+
+    def report(self) -> "ConvergenceReport":
+        return ConvergenceReport(
+            n=self.n,
+            key=self.key,
+            injection_time=self.injection_time,
+            infected=self.infected,
+            residue=self.residue,
+            t_ave=self.t_ave,
+            t_last=self.t_last,
+            update_sends=self.update_sends,
+            traffic_per_site=self.traffic_per_site,
+            comparisons=self.comparisons,
+            rejected_connections=self.rejected_connections,
+        )
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ConvergenceReport:
+    """The paper's observables for one epidemic, as plain data."""
+
+    n: int
+    key: Optional[str]
+    injection_time: float
+    infected: int
+    residue: float
+    t_ave: float
+    t_last: float
+    update_sends: int
+    traffic_per_site: float
+    comparisons: int
+    rejected_connections: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        blob = dataclasses.asdict(self)
+        # NaN is not JSON; absent delays serialize as null.
+        for field in ("t_ave", "t_last"):
+            if math.isnan(blob[field]):
+                blob[field] = None
+        return blob

@@ -36,7 +36,11 @@ from typing import Callable, Dict, Hashable, List, Optional
 from repro.core.items import Entry
 from repro.core.store import ApplyResult, StoreUpdate
 from repro.protocols.base import ExchangeMode, Protocol, entry_beats
-from repro.protocols.exchange import ExchangeStrategy, FullCompare, resolve_difference
+from repro.protocols.exchange import (
+    ExchangeStrategy,
+    FullCompare,
+    resolve_difference as resolve_difference,  # re-exported via repro.protocols
+)
 from repro.sim.transport import ConnectionLedger, ConnectionPolicy, UNLIMITED
 from repro.topology.spatial import PartnerSelector, UniformSelector
 

@@ -25,7 +25,7 @@ the bookkeeping the experiments report.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Hashable
+from typing import Dict
 
 from repro.core.store import ApplyResult, StoreUpdate
 from repro.protocols.base import Protocol

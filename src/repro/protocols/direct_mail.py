@@ -21,7 +21,6 @@ from typing import Dict, List, Optional
 from repro.core.store import ApplyResult, StoreUpdate
 from repro.protocols.base import Protocol
 from repro.sim.mailer import Letter, MailSystem
-from repro.sim.rng import RngRegistry
 
 
 class DirectMailProtocol(Protocol):

@@ -23,9 +23,9 @@ reports how much data had to cross the wire, which is what Tables 4 and
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterable, List, Tuple
+from typing import Iterable, List
 
-from repro.core.store import ApplyResult, ReplicaStore, StoreUpdate
+from repro.core.store import ReplicaStore, StoreUpdate
 from repro.protocols.base import ExchangeMode, entry_beats
 
 

@@ -51,6 +51,16 @@ class Simulator:
         """Total events executed so far."""
         return self._processed
 
+    def stats(self) -> dict:
+        """Introspection snapshot (attached to ``cycle-completed``
+        observability events, see :mod:`repro.obs.events`)."""
+        return {
+            "now": self._now,
+            "pending": self.pending,
+            "processed": self._processed,
+            "cancelled": len(self._cancelled),
+        }
+
     def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` to run ``delay`` time units from now."""
         if delay < 0:

@@ -15,6 +15,7 @@ import dataclasses
 from typing import Hashable, List, Optional
 
 from repro.core.store import ApplyResult, StoreUpdate
+from repro.obs.events import EventBus, EventKind
 from repro.protocols.base import Protocol
 from repro.protocols.rumor import RumorMongeringProtocol
 
@@ -52,18 +53,39 @@ class EpidemicTracer(Protocol):
     sites knowing the value but not hot are "removed".  Attach *after*
     the protocols it observes so each sample reflects the end of the
     cycle.
+
+    With ``bus`` (an :class:`repro.obs.events.EventBus`, defaulting to
+    the cluster's own), every sample is also emitted as a ``census``
+    event, so a JSONL trace of a simulation carries the full S/I/R
+    trajectory alongside the per-site news events.
     """
 
     name = "epidemic-tracer"
 
-    def __init__(self, rumor: RumorMongeringProtocol, key: Hashable):
+    def __init__(
+        self,
+        rumor: RumorMongeringProtocol,
+        key: Hashable,
+        bus: Optional[EventBus] = None,
+    ):
         super().__init__()
         self.rumor = rumor
         self.key = key
+        self.bus = bus
         self.history: List[Census] = []
 
     def run_cycle(self, cycle: int) -> None:
-        self.history.append(self.sample(cycle))
+        census = self.sample(cycle)
+        self.history.append(census)
+        bus = self.bus if self.bus is not None else self.cluster.bus
+        bus.emit(
+            EventKind.CENSUS,
+            key=str(self.key),
+            cycle=census.cycle,
+            susceptible=census.susceptible,
+            infective=census.infective,
+            removed=census.removed,
+        )
 
     def sample(self, cycle: Optional[int] = None) -> Census:
         cluster = self.cluster

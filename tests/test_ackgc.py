@@ -1,7 +1,5 @@
 """The Sarin & Lynch-style acknowledgment GC baseline (Section 2)."""
 
-import pytest
-
 from repro.cluster.cluster import Cluster
 from repro.protocols.ackgc import AckBasedCertificateGC
 from repro.protocols.anti_entropy import AntiEntropyConfig, AntiEntropyProtocol

@@ -9,8 +9,6 @@ stated advantage (a pull request usually finds a non-empty rumor
 list under load) shows up as measured efficiency.
 """
 
-import pytest
-
 from repro.cluster.cluster import Cluster
 from repro.protocols.base import ExchangeMode
 from repro.protocols.rumor import RumorConfig, RumorMongeringProtocol

@@ -2,8 +2,6 @@
 against hand computation, against the asymptotic formulas, and against
 the stochastic simulation."""
 
-import math
-
 import pytest
 
 from repro.analysis.markov import (

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.nameservice.names import DomainId, Name
+from repro.nameservice.names import DomainId
 from repro.nameservice.records import AddressRecord, AliasRecord, GroupRecord
 from repro.nameservice.service import Clearinghouse, DomainConfig
 from repro.protocols.anti_entropy import AntiEntropyConfig, AntiEntropyProtocol

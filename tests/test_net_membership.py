@@ -4,7 +4,6 @@
 ``test_membership.py``; this file is about the live runtime's config.)
 """
 
-import json
 import random
 
 import pytest

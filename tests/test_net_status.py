@@ -1,0 +1,123 @@
+"""Live introspection: STATUS frames over real sockets, the
+``repro status`` client, and event-driven report assembly."""
+
+import asyncio
+import json
+
+from repro.net.node import NodeConfig
+from repro.net.peer import RetryPolicy
+from repro.net.runner import LiveCluster, live_demo, query_status
+from repro.obs.convergence import ConvergenceTracker
+from repro.obs.events import EventKind, RingBufferSink, read_trace
+
+FAST = NodeConfig(
+    anti_entropy_interval=0.05,
+    rumor_interval=0.02,
+    retry=RetryPolicy(connect_timeout=1.0, io_timeout=2.0, attempts=2),
+)
+
+BOUND_SECONDS = 15.0
+KEY = "printer:bldg-35"
+
+
+class TestStatusOverTheWire:
+    def test_status_reply_carries_census_and_metrics(self):
+        async def scenario():
+            cluster = await LiveCluster.launch(3, FAST)
+            try:
+                await cluster.inject(0, KEY, "10.0.7.12")
+                await cluster.wait_converged(KEY, timeout=BOUND_SECONDS)
+                return await cluster.status_all()
+            finally:
+                await cluster.stop()
+
+        statuses = asyncio.run(scenario())
+        assert sorted(statuses) == [0, 1, 2]
+        for node_id, payload in statuses.items():
+            assert payload["node"] == node_id
+            assert payload["roster_size"] == 3
+            assert payload["uptime_seconds"] >= 0.0
+            assert payload["entries"] == 1
+            assert KEY in payload["received"]
+            census = payload["census"]
+            assert census["infective"] + census["removed"] == payload["entries"]
+            metrics = payload["metrics"]
+            assert metrics["repro_exchanges_total"]["type"] == "counter"
+            # STATUS payloads must survive JSON (they cross the wire).
+            json.dumps(payload)
+
+    def test_query_status_from_a_roster_file(self, tmp_path):
+        roster = tmp_path / "roster.json"
+
+        async def scenario():
+            cluster = await LiveCluster.launch(2, FAST)
+            try:
+                cluster.membership.dump(roster)
+                await cluster.inject(1, KEY, "x")
+                return await query_status(str(roster), 1)
+            finally:
+                await cluster.stop()
+
+        payload = asyncio.run(scenario())
+        assert payload["node"] == 1
+        assert KEY in payload["received"]
+        assert payload["config"]["mode"] == FAST.mode.value
+
+
+class TestEventDrivenReport:
+    def test_trace_replay_reproduces_the_printed_report(self, tmp_path):
+        """Acceptance criterion: residue / t_ave / t_last recomputed
+        from the JSONL trace equal the report's values exactly."""
+        trace = tmp_path / "run.jsonl"
+        metrics = tmp_path / "metrics.json"
+        report = asyncio.run(
+            live_demo(
+                nodes=3,
+                config=FAST,
+                timeout=BOUND_SECONDS,
+                trace_file=str(trace),
+                metrics_file=str(metrics),
+            )
+        )
+        assert report.converged
+
+        replayed = ConvergenceTracker.from_events(read_trace(trace))
+        assert replayed.n == 3 and replayed.key == KEY
+        assert replayed.residue == report.residue
+        assert replayed.t_ave == report.t_ave
+        assert replayed.t_last == report.t_last
+        assert replayed.traffic_per_site == report.updates_per_site
+        for row in report.nodes:
+            assert replayed.delay_of(row.node_id) == row.receipt_delay
+
+        blob = json.loads(metrics.read_text())
+        assert sorted(blob) == ["0", "1", "2"]
+        assert blob["0"]["metrics"]["repro_updates_shipped_total"]["type"] == "counter"
+
+    def test_report_to_dict_is_json_safe(self):
+        report = asyncio.run(live_demo(nodes=3, config=FAST, timeout=BOUND_SECONDS))
+        blob = json.loads(json.dumps(report.to_dict()))
+        assert blob["n"] == 3
+        assert blob["converged"] is True
+        assert isinstance(blob["nodes"], list) and len(blob["nodes"]) == 3
+        assert {"node_id", "entries", "receipt_delay"} <= set(blob["nodes"][0])
+
+    def test_cluster_bus_streams_exchange_events(self):
+        async def scenario():
+            sink = RingBufferSink()
+            cluster = await LiveCluster.launch(3, FAST)
+            cluster.bus.add_sink(sink)
+            try:
+                await cluster.inject(0, KEY, "x")
+                await cluster.wait_converged(KEY, timeout=BOUND_SECONDS)
+            finally:
+                await cluster.stop()
+            return sink
+
+        sink = asyncio.run(scenario())
+        injected = sink.of_kind(EventKind.UPDATE_INJECTED)
+        assert [e.node for e in injected] == [0]
+        assert injected[0].payload["key"] == KEY
+        news = sink.of_kind(EventKind.NEWS_RECEIVED)
+        assert {e.node for e in news} == {0, 1, 2}
+        assert sink.of_kind(EventKind.EXCHANGE_SETTLED), "no settled exchanges seen"

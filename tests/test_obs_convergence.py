@@ -1,0 +1,116 @@
+"""ConvergenceTracker: the shared residue / traffic / delay math,
+fed directly, from a bus, and from a replayed JSONL trace."""
+
+import math
+
+import pytest
+
+from repro.obs.convergence import ConvergenceTracker
+from repro.obs.events import (
+    HARNESS_NODE,
+    EventBus,
+    EventKind,
+    JsonlTraceWriter,
+    read_trace,
+)
+
+
+class TestDirectRecording:
+    def test_paper_observables(self):
+        tracker = ConvergenceTracker(n=4, injection_time=10.0)
+        tracker.record_receipt(0, 10.0)
+        tracker.record_receipt(1, 12.0)
+        tracker.record_receipt(2, 16.0)
+        tracker.record_update_send(8)
+        assert tracker.infected == 3
+        assert tracker.residue == pytest.approx(0.25)
+        assert tracker.t_ave == pytest.approx((0.0 + 2.0 + 6.0) / 3)
+        assert tracker.t_last == pytest.approx(6.0)
+        assert tracker.traffic_per_site == pytest.approx(2.0)
+        assert not tracker.complete
+        assert tracker.delay_of(1) == pytest.approx(2.0)
+        assert tracker.delay_of(3) is None
+
+    def test_first_receipt_wins(self):
+        tracker = ConvergenceTracker(n=2)
+        tracker.record_receipt(0, 1.0)
+        tracker.record_receipt(0, 5.0)
+        assert tracker.receipt_times[0] == 1.0
+
+    def test_empty_tracker_has_nan_delays(self):
+        tracker = ConvergenceTracker(n=3)
+        assert math.isnan(tracker.t_ave) and math.isnan(tracker.t_last)
+        assert tracker.residue == 1.0
+        report = tracker.report().to_dict()
+        assert report["t_ave"] is None and report["t_last"] is None
+
+    def test_zero_population_rejected(self):
+        with pytest.raises(ValueError):
+            ConvergenceTracker(n=0)
+
+
+class TestEventStream:
+    def test_tracker_as_a_bus_sink(self):
+        clock = iter(float(t) for t in range(100))
+        bus = EventBus(clock=lambda: next(clock))
+        tracker = ConvergenceTracker(n=3, key="k")
+        bus.add_sink(tracker.observe)
+
+        bus.emit(EventKind.UPDATE_INJECTED, node=0, key="k")        # t=0
+        bus.emit(EventKind.NEWS_RECEIVED, node=1, key="k")          # t=1
+        bus.emit(EventKind.NEWS_RECEIVED, node=1, key="other")      # filtered
+        bus.emit(EventKind.EXCHANGE_SETTLED, node=0, partner=1,
+                 shipped=2, received=1)
+        bus.emit(EventKind.RUMOR_SENT, node=1, partner=2, shipped=1)
+        bus.emit(EventKind.REJECTION, node=2, direction="out")
+        bus.emit(EventKind.REJECTION, node=1, direction="in")       # dedup
+        bus.emit(EventKind.NEWS_RECEIVED, node=2, key="k")          # t=7
+
+        assert tracker.injection_time == 0.0     # adopted from the injection
+        assert tracker.infected == 3 and tracker.complete
+        assert tracker.t_last == pytest.approx(7.0)
+        assert tracker.update_sends == 4         # 2+1 settled, 1 rumor
+        assert tracker.comparisons == 1
+        assert tracker.rejected_connections == 1
+
+    def test_from_events_uses_run_started_defaults(self):
+        clock = iter(float(t) for t in range(100))
+        bus = EventBus(clock=lambda: next(clock))
+        events = []
+        bus.add_sink(events.append)
+        bus.emit(EventKind.RUN_STARTED, node=HARNESS_NODE, n=5, key="k")
+        bus.emit(EventKind.UPDATE_INJECTED, node=0, key="k")
+        bus.emit(EventKind.NEWS_RECEIVED, node=3, key="k")
+        tracker = ConvergenceTracker.from_events(events)
+        assert tracker.n == 5 and tracker.key == "k"
+        assert tracker.infected == 2
+        assert tracker.residue == pytest.approx(0.6)
+
+    def test_from_events_without_n_anywhere_raises(self):
+        with pytest.raises(ValueError):
+            ConvergenceTracker.from_events([])
+
+
+class TestTraceRecompute:
+    def test_jsonl_round_trip_matches_the_live_tracker(self, tmp_path):
+        """The acceptance property: a trace replay reproduces the run's
+        report exactly (same tracker math, same events)."""
+        path = tmp_path / "run.jsonl"
+        clock = iter(float(t) for t in range(100))
+        bus = EventBus(clock=lambda: next(clock))
+        live = ConvergenceTracker(n=4, key="k")
+        bus.add_sink(live.observe)
+        with JsonlTraceWriter(path) as writer:
+            bus.add_sink(writer)
+            bus.emit(EventKind.RUN_STARTED, node=HARNESS_NODE, n=4, key="k")
+            bus.emit(EventKind.UPDATE_INJECTED, node=0, key="k")
+            bus.emit(EventKind.EXCHANGE_SETTLED, node=0, partner=2,
+                     shipped=1, received=0)
+            bus.emit(EventKind.NEWS_RECEIVED, node=2, key="k")
+            bus.emit(EventKind.RUMOR_SENT, node=2, partner=3, shipped=1)
+            bus.emit(EventKind.NEWS_RECEIVED, node=3, key="k")
+        replayed = ConvergenceTracker.from_events(read_trace(path))
+        assert replayed.report() == live.report()
+        assert replayed.t_ave == pytest.approx((0.0 + 2.0 + 4.0) / 3)
+        assert replayed.update_sends == 2
+        assert replayed.residue == pytest.approx(0.25)

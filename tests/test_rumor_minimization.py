@@ -5,8 +5,6 @@ update, then only the site with the smaller counter is incremented (in
 the case of equality both must be incremented)."
 """
 
-import pytest
-
 from repro.cluster.cluster import Cluster
 from repro.protocols.base import ExchangeMode
 from repro.protocols.rumor import RumorConfig, RumorMongeringProtocol

@@ -3,8 +3,7 @@
 import pytest
 
 from repro.core.items import NIL, DeathCertificate, VersionedValue
-from repro.core.store import ApplyResult, ReplicaStore
-from repro.core.timestamps import SequenceClock, Timestamp
+from repro.core.store import ApplyResult
 
 from conftest import make_store, ts
 

@@ -82,6 +82,38 @@ class TestCensus:
         assert cycle == 1
 
 
+class TestClusterEvents:
+    def test_simulator_emits_the_shared_event_stream(self):
+        """The sim side of the unified bus: injections, receipts, the
+        census, and cycle markers all land as typed events, and the
+        shared tracker recomputes the cluster's own metrics from them."""
+        from repro.obs.convergence import ConvergenceTracker
+        from repro.obs.events import EventKind, RingBufferSink
+
+        cluster, rumor, tracer = traced_cluster(n=50, seed=7)
+        sink = RingBufferSink()
+        cluster.bus.add_sink(sink)
+        tracked = ConvergenceTracker(n=50, key="k")
+        cluster.bus.add_sink(tracked.observe)
+        cluster.inject_update(0, "k", "v", track=True)
+        cluster.run_cycles(30)
+
+        injected = sink.of_kind(EventKind.UPDATE_INJECTED)
+        assert [e.node for e in injected] == [0]
+        assert injected[0].payload == {"key": "k", "deletion": False}
+        census = sink.of_kind(EventKind.CENSUS)
+        assert len(census) == 30
+        assert census[0].payload["cycle"] == 1
+        cycles = sink.of_kind(EventKind.CYCLE_COMPLETED)
+        assert [e.payload["cycle"] for e in cycles] == list(range(1, 31))
+        # Event time in the simulator is the cycle number, so the
+        # tracker's delays come out in cycles — same as the metrics.
+        metrics = cluster.metrics
+        assert tracked.infected == metrics.infected
+        assert tracked.receipt_times == metrics.receipt_times
+        assert tracked.t_last == metrics.t_last
+
+
 class TestNewsLog:
     def test_records_first_deliveries(self):
         cluster = Cluster(n=10, seed=4)

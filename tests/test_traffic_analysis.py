@@ -1,7 +1,5 @@
 """Per-link traffic scaling for d^-a on a line (Section 3)."""
 
-import math
-
 import pytest
 
 from repro.analysis.traffic import (
