@@ -39,31 +39,46 @@ def _print_rumor_table(rows, paper, title: str) -> None:
     print()
 
 
+def _runner(args):
+    """The shared TrialRunner for this invocation, built from --jobs."""
+    from repro.experiments.runner import TrialRunner
+
+    return TrialRunner(jobs=getattr(args, "jobs", None))
+
+
 def cmd_table1(args) -> None:
     from repro.experiments.tables import PAPER_TABLE1, table1
 
-    rows = table1(n=args.n, runs=args.runs)
+    rows = table1(n=args.n, runs=args.runs, runner=_runner(args))
     _print_rumor_table(rows, PAPER_TABLE1, "Table 1: push, feedback+counter")
 
 
 def cmd_table2(args) -> None:
     from repro.experiments.tables import PAPER_TABLE2, table2
 
-    rows = table2(n=args.n, runs=args.runs)
+    rows = table2(n=args.n, runs=args.runs, runner=_runner(args))
     _print_rumor_table(rows, PAPER_TABLE2, "Table 2: push, blind+coin")
 
 
 def cmd_table3(args) -> None:
     from repro.experiments.tables import PAPER_TABLE3, table3
 
-    rows = table3(n=args.n, runs=args.runs)
+    rows = table3(n=args.n, runs=args.runs, runner=_runner(args))
     _print_rumor_table(rows, PAPER_TABLE3, "Table 3: pull, feedback+counter")
+
+
+def cmd_tables(args) -> None:
+    """Tables 1-3 in one go — the determinism acceptance target:
+    the output is byte-identical whatever --jobs is."""
+    cmd_table1(args)
+    cmd_table2(args)
+    cmd_table3(args)
 
 
 def _spatial(args, policy) -> None:
     from repro.experiments.spatial import spatial_table
 
-    rows = spatial_table(runs=args.runs, policy=policy)
+    rows = spatial_table(runs=args.runs, policy=policy, runner=_runner(args))
     print(
         format_table(
             SPATIAL_HEADERS,
@@ -95,10 +110,11 @@ def cmd_pathologies(args) -> None:
         figure2_experiment,
     )
 
+    runner = _runner(args)
     trials = args.runs * 5
-    fig1 = figure1_experiment(m=20, k=2, trials=trials)
-    fig2 = figure2_experiment(trials=trials)
-    fixed = backup_fixes_pathology(trials=args.runs)
+    fig1 = figure1_experiment(m=20, k=2, trials=trials, runner=runner)
+    fig2 = figure2_experiment(trials=trials, runner=runner)
+    fixed = backup_fixes_pathology(trials=args.runs, runner=runner)
     print(
         format_table(
             ["experiment", "trials", "failures", "notes"],
@@ -117,20 +133,18 @@ def cmd_pathologies(args) -> None:
 
 
 def cmd_deathcerts(args) -> None:
-    from repro.experiments.deathcert_scenarios import (
-        dormant_certificate_scenario,
-        fixed_threshold_scenario,
-        reinstatement_scenario,
-        resurrection_scenario,
-    )
+    from repro.experiments.deathcert_scenarios import deletion_suite
 
     rows = [
-        ("naive delete", resurrection_scenario(use_certificate=False).resurrected),
-        ("death certificate", resurrection_scenario(use_certificate=True).resurrected),
-        ("fixed threshold tau1", fixed_threshold_scenario().resurrected),
-        ("dormant certificates", dormant_certificate_scenario().resurrected),
-        ("reinstatement cancelled?",
-         not reinstatement_scenario().value_visible_everywhere),
+        (
+            label if label != "reinstatement" else "reinstatement cancelled?",
+            (
+                result.resurrected
+                if label != "reinstatement"
+                else not result.value_visible_everywhere
+            ),
+        )
+        for label, result in deletion_suite(runner=_runner(args))
     ]
     print(
         format_table(
@@ -145,7 +159,9 @@ def cmd_deathcerts(args) -> None:
 def cmd_backup(args) -> None:
     from repro.experiments.backup_scenarios import compare_recovery_strategies
 
-    results = compare_recovery_strategies(n=args.n if args.n <= 500 else 150)
+    results = compare_recovery_strategies(
+        n=args.n if args.n <= 500 else 150, runner=_runner(args)
+    )
     print(
         format_table(
             ["strategy", "update sends", "mail messages", "cycles", "complete"],
@@ -163,7 +179,7 @@ def cmd_backup(args) -> None:
 def cmd_line(args) -> None:
     from repro.experiments.spatial import line_scaling
 
-    rows = line_scaling(runs=max(2, args.runs // 3))
+    rows = line_scaling(runs=max(2, args.runs // 3), runner=_runner(args))
     print(
         format_table(
             ["n", "a", "link traffic/cycle", "t_last"],
@@ -177,7 +193,9 @@ def cmd_line(args) -> None:
 def cmd_tau(args) -> None:
     from repro.experiments.workloads import checksum_tau_experiment
 
-    results = checksum_tau_experiment(cycles=max(40, args.runs * 5))
+    results = checksum_tau_experiment(
+        cycles=max(40, args.runs * 5), runner=_runner(args)
+    )
     print(
         format_table(
             ["tau", "checksum success", "entries/exchange", "full compares"],
@@ -206,7 +224,9 @@ def cmd_hierarchy(args) -> None:
         ("a=2.0", SortedListSelector(distances, a=2.0)),
         ("hierarchy", HierarchicalSelector(distances, backbone_count=16)),
     ]
-    rows = spatial_table(cin=cin, runs=args.runs, selectors=selectors)
+    rows = spatial_table(
+        cin=cin, runs=args.runs, selectors=selectors, runner=_runner(args)
+    )
     print(
         format_table(
             SPATIAL_HEADERS,
@@ -215,6 +235,36 @@ def cmd_hierarchy(args) -> None:
         )
     )
     print()
+
+
+def cmd_bench(args) -> None:
+    """Run the benchmark suite and record BENCH_<date>.json."""
+    from repro.experiments.bench import (
+        compare_reports,
+        load_report,
+        run_bench,
+        summary_lines,
+        write_report,
+    )
+
+    report = run_bench(
+        quick=args.quick,
+        jobs=args.jobs,
+        progress=lambda message: print(message, file=sys.stderr),
+    )
+    path = write_report(report, args.bench_output)
+    print("\n".join(summary_lines(report)))
+    print(f"report written to {path}")
+    if args.compare:
+        baseline = load_report(args.compare)
+        regressions = compare_reports(
+            report, baseline, max_regression=args.max_regression
+        )
+        if regressions:
+            for line in regressions:
+                print(f"regression: {line}", file=sys.stderr)
+            raise SystemExit(1)
+        print(f"no regressions vs {args.compare} (limit {args.max_regression:g}x)")
 
 
 def _node_config(args):
@@ -305,6 +355,13 @@ LIVE_COMMANDS: Dict[str, Callable] = {
     "status": cmd_status,
 }
 
+#: Meta commands: aggregates and tooling, also excluded from ``all``
+#: ('tables' would duplicate table1-3; 'bench' writes report files).
+META_COMMANDS: Dict[str, Callable] = {
+    "tables": cmd_tables,
+    "bench": cmd_bench,
+}
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -315,7 +372,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(COMMANDS) + sorted(LIVE_COMMANDS) + ["all"],
+        choices=sorted(COMMANDS) + sorted(LIVE_COMMANDS) + sorted(META_COMMANDS)
+        + ["all"],
         help="which experiment to run ('all' runs every simulator one)",
     )
     parser.add_argument(
@@ -325,6 +383,29 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--n", type=int, default=1000,
         help="population for the uniform-network tables (default 1000)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for trial batches (default: all CPU cores; "
+        "1 = serial; results are identical either way)",
+    )
+    bench = parser.add_argument_group("benchmark (bench)")
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="bench: shrink every scenario for a CI smoke run",
+    )
+    bench.add_argument(
+        "--bench-output", default=None, metavar="PATH",
+        help="bench: report path (default BENCH_<date>.json in the CWD)",
+    )
+    bench.add_argument(
+        "--compare", default=None, metavar="BASELINE",
+        help="bench: fail when a scenario regresses vs this baseline report",
+    )
+    bench.add_argument(
+        "--max-regression", type=float, default=2.0, metavar="FACTOR",
+        help="bench: allowed wall-clock growth factor for --compare "
+        "(default 2.0)",
     )
     live = parser.add_argument_group("live runtime (live-demo, node)")
     live.add_argument(
@@ -390,11 +471,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.n < 2:
         print("error: --n must be >= 2", file=sys.stderr)
         return 2
+    if args.jobs is not None and args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
     try:
         if args.experiment == "all":
             for name in sorted(COMMANDS):
                 print(f"=== {name} ===")
                 COMMANDS[name](args)
+        elif args.experiment in META_COMMANDS:
+            META_COMMANDS[args.experiment](args)
         elif args.experiment in LIVE_COMMANDS:
             try:
                 LIVE_COMMANDS[args.experiment](args)

@@ -76,10 +76,11 @@ class Cluster:
         self.sites: Dict[int, "Site"] = {}
         from repro.cluster.site import Site  # local import: cycle guard
 
+        self._clock_skew = clock_skew
         for site_id in self._participants:
-            skew = clock_skew(site_id) if clock_skew is not None else 0.0
-            clock = SimClock(site_id, lambda: float(self.cycle), skew=skew)
-            self.sites[site_id] = Site(site_id, clock, self.rng.site_stream(site_id))
+            self.sites[site_id] = Site(
+                site_id, self._make_clock(site_id), self.rng.site_stream(site_id)
+            )
         self.protocols: List = []
         self.traffic = LinkTraffic()
         self.metrics: Optional[EpidemicMetrics] = None
@@ -92,6 +93,12 @@ class Cluster:
     # ------------------------------------------------------------------
     # Composition
     # ------------------------------------------------------------------
+
+    def _make_clock(self, site_id: int) -> SimClock:
+        """A site clock honoring the cluster's ``clock_skew`` function —
+        for construction-time sites and late joiners alike."""
+        skew = self._clock_skew(site_id) if self._clock_skew is not None else 0.0
+        return SimClock(site_id, lambda: float(self.cycle), skew=skew)
 
     @property
     def n(self) -> int:
@@ -137,8 +144,9 @@ class Cluster:
                 if self.topology.edge_count > 0:
                     raise ValueError(f"{site_id} is not a site of the topology")
                 self.topology.add_node(site_id, site=True)
-        clock = SimClock(site_id, lambda: float(self.cycle))
-        self.sites[site_id] = Site(site_id, clock, self.rng.site_stream(site_id))
+        self.sites[site_id] = Site(
+            site_id, self._make_clock(site_id), self.rng.site_stream(site_id)
+        )
         self._participants.append(site_id)
         for protocol in self.protocols:
             protocol.on_site_added(site_id)
@@ -260,12 +268,13 @@ class Cluster:
     def _after_injection(self, site_id: int, update: StoreUpdate) -> None:
         if self._tracked is not None and self._matches_tracked(update):
             self.metrics.record_receipt(site_id, float(self.cycle))
-        self.bus.emit(
-            EventKind.UPDATE_INJECTED,
-            node=site_id,
-            key=str(update.key),
-            deletion=update.entry.is_deletion,
-        )
+        if self.bus.has_sinks:
+            self.bus.emit(
+                EventKind.UPDATE_INJECTED,
+                node=site_id,
+                key=str(update.key),
+                deletion=update.entry.is_deletion,
+            )
         for protocol in self.protocols:
             protocol.on_local_update(site_id, update)
 
@@ -310,16 +319,17 @@ class Cluster:
     def notify_news(self, site_id: int, update: StoreUpdate, result: ApplyResult, via) -> None:
         if self.metrics is not None and self._matches_tracked(update):
             self.metrics.record_receipt(site_id, float(self.cycle))
-        self.bus.emit(
-            EventKind.NEWS_RECEIVED,
-            node=site_id,
-            key=str(update.key),
-            result=result.value,
-        )
-        if result is ApplyResult.RESURRECTION_BLOCKED:
+        if self.bus.has_sinks:
             self.bus.emit(
-                EventKind.DEATH_CERT_ACTIVATED, node=site_id, key=str(update.key)
+                EventKind.NEWS_RECEIVED,
+                node=site_id,
+                key=str(update.key),
+                result=result.value,
             )
+            if result is ApplyResult.RESURRECTION_BLOCKED:
+                self.bus.emit(
+                    EventKind.DEATH_CERT_ACTIVATED, node=site_id, key=str(update.key)
+                )
         for protocol in self.protocols:
             if protocol is not via:
                 protocol.on_news(site_id, update, result)
@@ -332,7 +342,7 @@ class Cluster:
         if self.metrics is not None:
             self.metrics.record_comparison()
         if self._routable:
-            self.traffic.compare.add_path(self.topology.path(src, dst))
+            self.traffic.compare.add_edges(self.topology.path_edges(src, dst))
 
     def count_update_sends(self, src: int, dst: int, count: int = 1) -> None:
         """Record ``count`` update transmissions from ``src`` to ``dst``."""
@@ -341,7 +351,7 @@ class Cluster:
         if self.metrics is not None:
             self.metrics.record_update_send(count)
         if self._routable:
-            self.traffic.update.add_path(self.topology.path(src, dst), count)
+            self.traffic.update.add_edges(self.topology.path_edges(src, dst), count)
 
     def count_useful_update_send(self, src: int, dst: int, count: int = 1) -> None:
         """Record ``count`` update transmissions the receiver needed
@@ -350,7 +360,9 @@ class Cluster:
         if count <= 0:
             return
         if self._routable:
-            self.traffic.useful_update.add_path(self.topology.path(src, dst), count)
+            self.traffic.useful_update.add_edges(
+                self.topology.path_edges(src, dst), count
+            )
 
     def count_rejection(self) -> None:
         if self.metrics is not None:
@@ -368,9 +380,12 @@ class Cluster:
             protocol.run_cycle(self.cycle)
         if self.metrics is not None:
             self.metrics.cycles_run = self.cycle
-        self.bus.emit(
-            EventKind.CYCLE_COMPLETED, cycle=self.cycle, engine=self.simulator.stats()
-        )
+        if self.bus.has_sinks:
+            self.bus.emit(
+                EventKind.CYCLE_COMPLETED,
+                cycle=self.cycle,
+                engine=self.simulator.stats(),
+            )
 
     def run_cycles(self, count: int) -> None:
         for __ in range(count):

@@ -13,9 +13,10 @@ from __future__ import annotations
 
 import dataclasses
 import random
-from typing import List
+from typing import List, Optional
 
 from repro.cluster.cluster import Cluster
+from repro.experiments.runner import TrialRunner, resolve_runner
 from repro.protocols.backup import AntiEntropyBackup, RecoveryStrategy
 from repro.protocols.base import ExchangeMode
 from repro.protocols.rumor import RumorConfig
@@ -86,16 +87,26 @@ def recovery_cost_experiment(
 
 
 def compare_recovery_strategies(
-    n: int = 100, initial_coverage: float = 0.5, seed: int = 41
+    n: int = 100,
+    initial_coverage: float = 0.5,
+    seed: int = 41,
+    runner: Optional[TrialRunner] = None,
 ) -> List[RecoveryCost]:
-    """All three strategies on the same planted half-coverage state."""
-    return [
-        recovery_cost_experiment(
-            n=n, initial_coverage=initial_coverage, strategy=strategy, seed=seed
-        )
-        for strategy in (
-            RecoveryStrategy.CONSERVATIVE,
-            RecoveryStrategy.HOT_RUMOR,
-            RecoveryStrategy.REDISTRIBUTE_MAIL,
-        )
-    ]
+    """All three strategies on the same planted half-coverage state.
+
+    The three runs share no state (each builds its own cluster from the
+    same seed), so they fan out over the runner as three trials.
+    """
+    return resolve_runner(runner).map(
+        recovery_cost_experiment,
+        [
+            dict(
+                n=n, initial_coverage=initial_coverage, strategy=strategy, seed=seed
+            )
+            for strategy in (
+                RecoveryStrategy.CONSERVATIVE,
+                RecoveryStrategy.HOT_RUMOR,
+                RecoveryStrategy.REDISTRIBUTE_MAIL,
+            )
+        ],
+    )

@@ -17,9 +17,10 @@ from __future__ import annotations
 
 import dataclasses
 import random
-from typing import List
+from typing import List, Optional, Tuple
 
 from repro.cluster.cluster import Cluster
+from repro.experiments.runner import TrialRunner, resolve_runner
 from repro.protocols.anti_entropy import AntiEntropyConfig, AntiEntropyProtocol
 from repro.protocols.base import ExchangeMode
 from repro.protocols.direct_mail import DirectMailProtocol
@@ -36,34 +37,47 @@ class DirectMailResult:
     runs: int
 
 
+def run_direct_mail_trial(
+    n: int, loss_probability: float, known_fraction: float, seed: int
+) -> Tuple[float, float, float]:
+    """One mailing of one update; returns (residue, messages, delivery)."""
+    cluster = Cluster(n=n, seed=seed)
+    protocol = DirectMailProtocol(
+        loss_probability=loss_probability, known_fraction=known_fraction
+    )
+    cluster.add_protocol(protocol)
+    cluster.inject_update(0, "the-key", "the-value", track=True)
+    metrics = cluster.metrics
+    cluster.run_until(lambda: not protocol.active, max_cycles=50)
+    return metrics.residue, metrics.update_sends, protocol.mail.stats.delivery_ratio
+
+
 def direct_mail_experiment(
     n: int = 200,
     loss_probability: float = 0.05,
     known_fraction: float = 1.0,
     runs: int = 10,
     seed: int = 20,
+    runner: Optional[TrialRunner] = None,
 ) -> DirectMailResult:
     """Mail one update to all sites; measure cost and incompleteness."""
-    residues: List[float] = []
-    messages: List[float] = []
-    ratios: List[float] = []
-    for run in range(runs):
-        cluster = Cluster(n=n, seed=derive_seed(seed, run))
-        protocol = DirectMailProtocol(
-            loss_probability=loss_probability, known_fraction=known_fraction
-        )
-        cluster.add_protocol(protocol)
-        update = cluster.inject_update(0, "the-key", "the-value", track=True)
-        metrics = cluster.metrics
-        cluster.run_until(lambda: not protocol.active, max_cycles=50)
-        residues.append(metrics.residue)
-        messages.append(metrics.update_sends)
-        ratios.append(protocol.mail.stats.delivery_ratio)
+    trials = resolve_runner(runner).map(
+        run_direct_mail_trial,
+        [
+            dict(
+                n=n,
+                loss_probability=loss_probability,
+                known_fraction=known_fraction,
+                seed=derive_seed(seed, run),
+            )
+            for run in range(runs)
+        ],
+    )
     return DirectMailResult(
         n=n,
-        messages_per_update=mean(messages),
-        delivery_ratio=mean(ratios),
-        residue=mean(residues),
+        messages_per_update=mean([t[1] for t in trials]),
+        delivery_ratio=mean([t[2] for t in trials]),
+        residue=mean([t[0] for t in trials]),
         runs=runs,
     )
 
@@ -122,23 +136,36 @@ class PushConvergenceResult:
     runs: int
 
 
+def run_push_epidemic_trial(n: int, seed: int, max_cycles: int = 200) -> float:
+    """One push epidemic from site 0 to saturation; returns t_last."""
+    cluster = Cluster(n=n, seed=seed)
+    protocol = AntiEntropyProtocol(
+        config=AntiEntropyConfig(mode=ExchangeMode.PUSH)
+    )
+    cluster.add_protocol(protocol)
+    cluster.inject_update(0, "the-key", "the-value", track=True)
+    metrics = cluster.metrics
+    cluster.run_until(lambda: metrics.infected == n, max_cycles=max_cycles)
+    return metrics.t_last
+
+
 def push_epidemic_cycles(
-    n: int = 512, runs: int = 10, seed: int = 22, max_cycles: int = 200
+    n: int = 512,
+    runs: int = 10,
+    seed: int = 22,
+    max_cycles: int = 200,
+    runner: Optional[TrialRunner] = None,
 ) -> PushConvergenceResult:
     """Cycles for push anti-entropy to infect everyone from one site."""
     from repro.analysis.epidemic_theory import pittel_push_cycles
 
-    counts: List[float] = []
-    for run in range(runs):
-        cluster = Cluster(n=n, seed=derive_seed(seed, run))
-        protocol = AntiEntropyProtocol(
-            config=AntiEntropyConfig(mode=ExchangeMode.PUSH)
-        )
-        cluster.add_protocol(protocol)
-        update = cluster.inject_update(0, "the-key", "the-value", track=True)
-        metrics = cluster.metrics
-        cluster.run_until(lambda: metrics.infected == n, max_cycles=max_cycles)
-        counts.append(metrics.t_last)
+    counts = resolve_runner(runner).map(
+        run_push_epidemic_trial,
+        [
+            dict(n=n, seed=derive_seed(seed, run), max_cycles=max_cycles)
+            for run in range(runs)
+        ],
+    )
     return PushConvergenceResult(
         n=n,
         mean_cycles=mean(counts),

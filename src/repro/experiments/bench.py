@@ -1,0 +1,394 @@
+"""The benchmark harness: a fixed scenario suite timed and recorded.
+
+``python -m repro bench`` runs each scenario, times it, and writes a
+``BENCH_<YYYY-MM-DD>.json`` report so the repository's performance
+trajectory is part of its history (the schema is documented in
+``docs/performance.md``).  The suite covers the simulator's main cost
+centers:
+
+* **table1** — a Table 1 regeneration: the flat (k, run) trial batch
+  through the :class:`~repro.experiments.runner.TrialRunner`;
+* **anti-entropy** — one push-pull anti-entropy epidemic on a large
+  uniform network, the ``ResolveDifference`` hot path;
+* **rumor** — one rumor-mongering epidemic at Table-1 scale;
+* **live-demo** — the asyncio runtime pushing one update through real
+  TCP sockets on localhost.
+
+Two targeted measurements ride along: the parallel-over-serial speedup
+of the trial runner on this machine, and a per-conversation
+micro-benchmark of the optimized exchange session against a reference
+implementation of the original sort-the-key-union exchange.
+
+``--quick`` shrinks every scenario for CI smoke runs;
+``--compare BASELINE.json`` fails (exit 1) when any scenario regresses
+beyond the allowed factor, which is how CI gates performance.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import datetime
+import json
+import os
+import pathlib
+import platform
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.experiments.runner import TrialRunner, default_jobs
+
+#: Report schema identifier; bump when the JSON layout changes.
+SCHEMA = "repro-bench/1"
+
+
+@dataclasses.dataclass(slots=True)
+class ScenarioTiming:
+    """One timed scenario of the suite."""
+
+    name: str
+    wall_clock_s: float
+    trials: int
+    detail: Dict[str, Any]
+
+    @property
+    def trials_per_s(self) -> float:
+        if self.wall_clock_s <= 0:
+            return 0.0
+        return self.trials / self.wall_clock_s
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "wall_clock_s": round(self.wall_clock_s, 4),
+            "trials": self.trials,
+            "trials_per_s": round(self.trials_per_s, 3),
+            "detail": self.detail,
+        }
+
+
+def _timed(fn: Callable[[], Tuple[int, Dict[str, Any]]]) -> Tuple[float, int, Dict[str, Any]]:
+    start = time.perf_counter()
+    trials, detail = fn()
+    return time.perf_counter() - start, trials, detail
+
+
+# ----------------------------------------------------------------------
+# The scenario suite
+# ----------------------------------------------------------------------
+
+
+def _bench_table1(quick: bool, runner: TrialRunner) -> ScenarioTiming:
+    from repro.experiments.tables import table1
+
+    n = 200 if quick else 1000
+    runs = 2 if quick else 5
+
+    def work() -> Tuple[int, Dict[str, Any]]:
+        rows = table1(n=n, runs=runs, runner=runner)
+        return len(rows) * runs, {"n": n, "runs": runs, "runner": runner.describe()}
+
+    elapsed, trials, detail = _timed(work)
+    return ScenarioTiming("table1", elapsed, trials, detail)
+
+
+def _bench_anti_entropy(quick: bool) -> ScenarioTiming:
+    from repro.cluster.cluster import Cluster
+    from repro.protocols.anti_entropy import AntiEntropyConfig, AntiEntropyProtocol
+    from repro.protocols.base import ExchangeMode
+
+    n = 256 if quick else 1024
+
+    def work() -> Tuple[int, Dict[str, Any]]:
+        cluster = Cluster(n=n, seed=97)
+        cluster.add_protocol(
+            AntiEntropyProtocol(config=AntiEntropyConfig(mode=ExchangeMode.PUSH_PULL))
+        )
+        cluster.inject_update(0, "the-key", "the-value", track=True)
+        metrics = cluster.metrics
+        cluster.run_until(lambda: metrics.infected == n, max_cycles=200)
+        return 1, {"n": n, "cycles": cluster.cycle, "t_last": metrics.t_last}
+
+    elapsed, trials, detail = _timed(work)
+    return ScenarioTiming("anti-entropy-pushpull", elapsed, trials, detail)
+
+
+def _bench_rumor(quick: bool) -> ScenarioTiming:
+    from repro.experiments.tables import run_rumor_trial
+    from repro.protocols.base import ExchangeMode
+    from repro.protocols.rumor import RumorConfig
+
+    n = 200 if quick else 1000
+    config = RumorConfig(mode=ExchangeMode.PUSH, feedback=True, counter=True, k=2)
+
+    def work() -> Tuple[int, Dict[str, Any]]:
+        metrics = run_rumor_trial(n=n, config=config, seed=98)
+        return 1, {"n": n, "k": 2, "residue": metrics.residue, "t_last": metrics.t_last}
+
+    elapsed, trials, detail = _timed(work)
+    return ScenarioTiming("rumor-push-k2", elapsed, trials, detail)
+
+
+def _bench_live_demo(quick: bool) -> ScenarioTiming:
+    import asyncio
+
+    from repro.net.node import NodeConfig
+    from repro.net.runner import live_demo
+    from repro.protocols.base import ExchangeMode
+
+    nodes = 4 if quick else 8
+    config = NodeConfig(
+        anti_entropy_interval=0.05,
+        rumor_interval=0.02,
+        mode=ExchangeMode.PUSH_PULL,
+    )
+
+    def work() -> Tuple[int, Dict[str, Any]]:
+        try:
+            report = asyncio.run(
+                live_demo(nodes=nodes, config=config, timeout=30.0)
+            )
+        except Exception as error:  # noqa: BLE001 - sockets may be unavailable
+            # A sandbox without localhost sockets should not sink the
+            # whole suite; the report records the failure instead.
+            return 1, {"nodes": nodes, "error": str(error)}
+        return 1, {
+            "nodes": nodes,
+            "converged": report.converged,
+            "t_last": report.t_last,
+        }
+
+    elapsed, trials, detail = _timed(work)
+    return ScenarioTiming("live-demo", elapsed, trials, detail)
+
+
+# ----------------------------------------------------------------------
+# Parallel-over-serial speedup
+# ----------------------------------------------------------------------
+
+
+def measure_parallel_speedup(quick: bool, jobs: int) -> Dict[str, Any]:
+    """Time the same Table-1 batch serial vs parallel.
+
+    Results are bit-identical either way (that is tested elsewhere);
+    here only the wall clock differs.  On a single-core machine the
+    runner stays serial and the recorded speedup is ~1.
+    """
+    from repro.experiments.tables import table1
+
+    n = 150 if quick else 400
+    runs = 2 if quick else 4
+    start = time.perf_counter()
+    table1(n=n, runs=runs, runner=TrialRunner(jobs=1))
+    serial_s = time.perf_counter() - start
+    start = time.perf_counter()
+    table1(n=n, runs=runs, runner=TrialRunner(jobs=jobs))
+    parallel_s = time.perf_counter() - start
+    return {
+        "jobs": jobs,
+        "n": n,
+        "runs": runs,
+        "serial_s": round(serial_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "speedup": round(serial_s / parallel_s, 3) if parallel_s > 0 else 0.0,
+    }
+
+
+# ----------------------------------------------------------------------
+# Exchange hot-path micro-benchmark
+# ----------------------------------------------------------------------
+
+
+def _exchange_stores(entries: int, delta: int = 8):
+    """A fresh store pair per conversation: ``entries`` shared entries
+    plus ``delta`` fresh updates on each side.
+
+    This is the simulator's steady-state conversation — two nearly
+    converged databases with a small difference — which is exactly
+    where the old exchange's sort-the-whole-table cost dominated.
+    """
+    from repro.core.store import ReplicaStore
+
+    a = ReplicaStore(site_id=0)
+    b = ReplicaStore(site_id=1)
+    for i in range(entries):
+        update = a.update(f"key-{i}", f"v-{i}")
+        b.apply_entry(update.key, update.entry)
+    for i in range(delta):
+        a.update(f"key-a-{i}", f"new-a-{i}")
+        b.update(f"key-b-{i}", f"new-b-{i}")
+    return a, b
+
+
+def _legacy_resolve(a, b, mode) -> None:
+    """Reference implementation of the pre-optimization exchange.
+
+    Kept verbatim for the benchmark's before/after comparison: offer
+    sorted by ``repr`` of the key, both tables materialized as dicts,
+    and the key union sorted again on the responder.
+    """
+    from repro.core.store import StoreUpdate
+    from repro.protocols.base import entry_beats
+
+    offered = [
+        StoreUpdate(key=key, entry=entry)
+        for key, entry in sorted(a.entries(), key=lambda kv: repr(kv[0]))
+    ]
+    theirs = {update.key: update.entry for update in offered}
+    ours = dict(b.entries())
+    keys = theirs.keys() | ours.keys()
+    send_back = []
+    for key in sorted(keys, key=repr):
+        remote = theirs.get(key)
+        local = ours.get(key)
+        if mode.pushes and entry_beats(remote, local):
+            b.apply_entry(key, remote)
+        elif mode.pulls and entry_beats(local, remote):
+            send_back.append(StoreUpdate(key=key, entry=local))
+    for update in send_back:
+        a.apply_update(update)
+
+
+def measure_exchange_hot_path(quick: bool) -> Dict[str, Any]:
+    """Per-conversation cost: optimized exchange vs the legacy reference.
+
+    Every conversation gets a fresh store pair (built outside the timed
+    window) because the exchange mutates both sides.
+    """
+    from repro.protocols.base import ExchangeMode
+    from repro.protocols.exchange import resolve_difference
+
+    entries = 400 if quick else 1500
+    conversations = 10 if quick else 30
+    mode = ExchangeMode.PUSH_PULL
+    legacy_s = 0.0
+    optimized_s = 0.0
+    for __ in range(conversations):
+        a, b = _exchange_stores(entries)
+        start = time.perf_counter()
+        _legacy_resolve(a, b, mode)
+        legacy_s += time.perf_counter() - start
+        a, b = _exchange_stores(entries)
+        start = time.perf_counter()
+        resolve_difference(a, b, mode)
+        optimized_s += time.perf_counter() - start
+    return {
+        "entries": entries,
+        "conversations": conversations,
+        "legacy_s_per_conversation": round(legacy_s / conversations, 6),
+        "optimized_s_per_conversation": round(optimized_s / conversations, 6),
+        "speedup": round(legacy_s / optimized_s, 3) if optimized_s > 0 else 0.0,
+    }
+
+
+# ----------------------------------------------------------------------
+# Report assembly, serialization, regression gating
+# ----------------------------------------------------------------------
+
+
+def run_bench(
+    quick: bool = False,
+    jobs: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Run the whole suite; returns the report dict (see SCHEMA)."""
+    jobs = jobs if jobs is not None else default_jobs()
+    runner = TrialRunner(jobs=jobs)
+    say = progress if progress is not None else (lambda message: None)
+    scenarios: List[ScenarioTiming] = []
+    for name, fn in (
+        ("table1", lambda: _bench_table1(quick, runner)),
+        ("anti-entropy-pushpull", lambda: _bench_anti_entropy(quick)),
+        ("rumor-push-k2", lambda: _bench_rumor(quick)),
+        ("live-demo", lambda: _bench_live_demo(quick)),
+    ):
+        say(f"bench: {name} ...")
+        scenarios.append(fn())
+    say("bench: parallel speedup ...")
+    parallel = measure_parallel_speedup(quick, jobs)
+    say("bench: exchange hot path ...")
+    exchange = measure_exchange_hot_path(quick)
+    return {
+        "schema": SCHEMA,
+        "date": datetime.date.today().isoformat(),
+        "quick": quick,
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "scenarios": [scenario.to_dict() for scenario in scenarios],
+        "parallel": parallel,
+        "exchange_hot_path": exchange,
+    }
+
+
+def write_report(
+    report: Dict[str, Any], path: Optional[str] = None
+) -> pathlib.Path:
+    """Write the report; default name ``BENCH_<date>.json`` in the CWD."""
+    target = pathlib.Path(path) if path else pathlib.Path(f"BENCH_{report['date']}.json")
+    target.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    blob = json.loads(pathlib.Path(path).read_text())
+    if not isinstance(blob, dict) or blob.get("schema") != SCHEMA:
+        raise ValueError(f"{path}: not a {SCHEMA} report")
+    return blob
+
+
+def compare_reports(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    max_regression: float = 2.0,
+) -> List[str]:
+    """Scenario-by-scenario regression check against a baseline report.
+
+    Returns human-readable regression messages; empty means the gate
+    passes.  Scenarios present on only one side are skipped (the suite
+    may grow), as are baselines recorded at a different ``quick``
+    setting — wall clocks are only comparable like-for-like.
+    """
+    if bool(current.get("quick")) != bool(baseline.get("quick")):
+        return []
+    regressions: List[str] = []
+    by_name = {s["name"]: s for s in baseline.get("scenarios", [])}
+    for scenario in current.get("scenarios", []):
+        base = by_name.get(scenario["name"])
+        if base is None:
+            continue
+        base_wall = float(base.get("wall_clock_s", 0.0))
+        wall = float(scenario.get("wall_clock_s", 0.0))
+        if base_wall > 0 and wall > base_wall * max_regression:
+            regressions.append(
+                f"{scenario['name']}: {wall:.3f}s vs baseline "
+                f"{base_wall:.3f}s (> {max_regression:g}x)"
+            )
+    return regressions
+
+
+def summary_lines(report: Dict[str, Any]) -> List[str]:
+    """The human-readable rendering the CLI prints."""
+    lines = [
+        f"bench {report['date']}  jobs={report['jobs']}  "
+        f"cpus={report['cpu_count']}  quick={report['quick']}",
+    ]
+    for scenario in report["scenarios"]:
+        lines.append(
+            f"  {scenario['name']:<22} {scenario['wall_clock_s']:>8.3f}s"
+            f"  ({scenario['trials']} trials, {scenario['trials_per_s']:.2f}/s)"
+        )
+    parallel = report["parallel"]
+    lines.append(
+        f"  parallel speedup: {parallel['speedup']:g}x "
+        f"(serial {parallel['serial_s']}s, jobs={parallel['jobs']} "
+        f"{parallel['parallel_s']}s)"
+    )
+    exchange = report["exchange_hot_path"]
+    lines.append(
+        f"  exchange hot path: {exchange['speedup']:g}x per conversation "
+        f"(legacy {exchange['legacy_s_per_conversation']}s, "
+        f"optimized {exchange['optimized_s_per_conversation']}s, "
+        f"{exchange['entries']} entries)"
+    )
+    return lines

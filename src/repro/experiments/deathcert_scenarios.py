@@ -19,9 +19,10 @@ Four stories, each the driver for a test and a benchmark:
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
+from typing import List, Optional, Tuple
 
 from repro.cluster.cluster import Cluster
+from repro.experiments.runner import TrialRunner, resolve_runner
 from repro.protocols.anti_entropy import AntiEntropyConfig, AntiEntropyProtocol
 from repro.protocols.base import ExchangeMode
 from repro.protocols.deathcerts import CertificatePolicy, DeathCertificateManager
@@ -167,6 +168,32 @@ def reinstatement_scenario(
         reactivations=manager.stats.reactivations if manager else 0,
         cycles=cluster.cycle,
     )
+
+
+def _dispatch(fn, kwargs):
+    """Trampoline so heterogeneous scenario calls fit one runner batch."""
+    return fn(**kwargs)
+
+
+def deletion_suite(
+    runner: Optional[TrialRunner] = None,
+) -> List[Tuple[str, ScenarioResult]]:
+    """The whole Section 2 scenario battery as ``(label, result)`` rows.
+
+    The five scenarios are independent seeded simulations, so they fan
+    out over the trial runner; labels keep the CLI's presentation order.
+    """
+    tasks: List[Tuple[str, object, dict]] = [
+        ("naive delete", resurrection_scenario, dict(use_certificate=False)),
+        ("death certificate", resurrection_scenario, dict(use_certificate=True)),
+        ("fixed threshold tau1", fixed_threshold_scenario, {}),
+        ("dormant certificates", dormant_certificate_scenario, {}),
+        ("reinstatement", reinstatement_scenario, {}),
+    ]
+    results = resolve_runner(runner).map(
+        _dispatch, [dict(fn=fn, kwargs=kwargs) for __, fn, kwargs in tasks]
+    )
+    return [(label, result) for (label, __, ___), result in zip(tasks, results)]
 
 
 def space_comparison(n: int = 300, tau: float = 30.0, tau1: float = 10.0, r: int = 4) -> float:

@@ -25,9 +25,11 @@ import dataclasses
 from typing import Optional, Tuple
 
 from repro.cluster.cluster import Cluster
+from repro.experiments.runner import TrialRunner, resolve_runner
 from repro.protocols.backup import AntiEntropyBackup, RecoveryStrategy
 from repro.protocols.base import ExchangeMode
 from repro.protocols.rumor import RumorConfig, RumorMongeringProtocol
+from repro.sim.metrics import EpidemicMetrics
 from repro.sim.rng import derive_seed
 from repro.topology import builders
 from repro.topology.distance import SiteDistances
@@ -64,24 +66,48 @@ def _run_rumor(
     return cluster, metrics
 
 
+def run_pathology_trial(
+    topology: Topology,
+    selector: PartnerSelector,
+    config: RumorConfig,
+    start_site: int,
+    seed: int,
+    max_cycles: int = 2000,
+) -> EpidemicMetrics:
+    """One pathology trial, returning only the (picklable) metrics."""
+    __, metrics = _run_rumor(
+        topology, selector, config, start_site=start_site,
+        seed=seed, max_cycles=max_cycles,
+    )
+    return metrics
+
+
 def figure1_experiment(
     m: int = 20,
     k: int = 2,
     trials: int = 50,
     mode: ExchangeMode = ExchangeMode.PUSH,
     seed: int = 7,
+    runner: Optional[TrialRunner] = None,
 ) -> PathologyResult:
     """Inject at ``s`` and watch push (or pull) rumors die near home."""
     topology, s, t, group = builders.figure1_topology(m)
     distances = SiteDistances(topology)
     selector = QPowerSelector(distances, a=2.0)
     config = RumorConfig(mode=mode, feedback=True, counter=True, k=k)
+    results = resolve_runner(runner).map(
+        run_pathology_trial,
+        [
+            dict(
+                topology=topology, selector=selector, config=config,
+                start_site=s, seed=derive_seed(seed, trial),
+            )
+            for trial in range(trials)
+        ],
+    )
     failures = 0
     died_in_pair = 0
-    for trial in range(trials):
-        cluster, metrics = _run_rumor(
-            topology, selector, config, start_site=s, seed=derive_seed(seed, trial)
-        )
+    for metrics in results:
         if not metrics.complete:
             failures += 1
             if set(metrics.receipt_times) <= {s, t}:
@@ -96,6 +122,7 @@ def figure1_pull_experiment(
     k: int = 2,
     trials: int = 50,
     seed: int = 8,
+    runner: Optional[TrialRunner] = None,
 ) -> PathologyResult:
     """Figure 1 under pull: update starts in the main group; do the
     isolated pair ``{s, t}`` ever learn it?"""
@@ -103,16 +130,19 @@ def figure1_pull_experiment(
     distances = SiteDistances(topology)
     selector = QPowerSelector(distances, a=2.0)
     config = RumorConfig(mode=ExchangeMode.PULL, feedback=True, counter=True, k=k)
+    results = resolve_runner(runner).map(
+        run_pathology_trial,
+        [
+            dict(
+                topology=topology, selector=selector, config=config,
+                start_site=group[trial % len(group)], seed=derive_seed(seed, trial),
+            )
+            for trial in range(trials)
+        ],
+    )
     failures = 0
     pair_missed = 0
-    for trial in range(trials):
-        cluster, metrics = _run_rumor(
-            topology,
-            selector,
-            config,
-            start_site=group[trial % len(group)],
-            seed=derive_seed(seed, trial),
-        )
+    for metrics in results:
         if not metrics.complete:
             failures += 1
             if s not in metrics.receipt_times or t not in metrics.receipt_times:
@@ -128,6 +158,7 @@ def figure2_experiment(
     k: int = 2,
     trials: int = 50,
     seed: int = 9,
+    runner: Optional[TrialRunner] = None,
 ) -> PathologyResult:
     """Inject inside the tree; does lonely site ``s`` ever hear of it?"""
     topology, s, root = builders.figure2_topology(depth, spur_length)
@@ -135,13 +166,20 @@ def figure2_experiment(
     selector = QPowerSelector(distances, a=2.0)
     config = RumorConfig(mode=ExchangeMode.PUSH, feedback=True, counter=True, k=k)
     tree_sites = [site for site in topology.sites if site != s]
+    results = resolve_runner(runner).map(
+        run_pathology_trial,
+        [
+            dict(
+                topology=topology, selector=selector, config=config,
+                start_site=tree_sites[trial % len(tree_sites)],
+                seed=derive_seed(seed, trial),
+            )
+            for trial in range(trials)
+        ],
+    )
     failures = 0
     missed = 0
-    for trial in range(trials):
-        start = tree_sites[trial % len(tree_sites)]
-        cluster, metrics = _run_rumor(
-            topology, selector, config, start_site=start, seed=derive_seed(seed, trial)
-        )
+    for metrics in results:
         if not metrics.complete:
             failures += 1
             if s not in metrics.receipt_times:
@@ -159,29 +197,63 @@ def minimal_k_for_coverage(
     k_max: int = 40,
     seed: int = 10,
     start_site: Optional[int] = None,
+    runner: Optional[TrialRunner] = None,
 ) -> Optional[int]:
     """The smallest ``k`` achieving full coverage in every trial.
 
     This reproduces the paper's tuning procedure ("once k was adjusted
     to give 100% distribution in each of 200 trials ...").  Returns
-    ``None`` if no ``k <= k_max`` suffices.
+    ``None`` if no ``k <= k_max`` suffices.  The sweep over ``k`` stays
+    sequential (each k's verdict gates the next); the trials within one
+    ``k`` fan out.
     """
+    runner = resolve_runner(runner)
     sites = topology.sites
     for k in range(1, k_max + 1):
         config = RumorConfig(mode=mode, feedback=True, counter=True, k=k)
-        all_complete = True
-        for trial in range(trials):
-            start = start_site if start_site is not None else sites[trial % len(sites)]
-            cluster, metrics = _run_rumor(
-                topology, selector, config, start_site=start,
-                seed=derive_seed(seed, k, trial),
-            )
-            if not metrics.complete:
-                all_complete = False
-                break
-        if all_complete:
+        results = runner.map(
+            run_pathology_trial,
+            [
+                dict(
+                    topology=topology, selector=selector, config=config,
+                    start_site=(
+                        start_site if start_site is not None
+                        else sites[trial % len(sites)]
+                    ),
+                    seed=derive_seed(seed, k, trial),
+                )
+                for trial in range(trials)
+            ],
+        )
+        if all(metrics.complete for metrics in results):
             return k
     return None
+
+
+def run_backup_trial(
+    topology: Topology,
+    selector: PartnerSelector,
+    k: int,
+    start_site: int,
+    anti_entropy_period: int,
+    seed: int,
+    max_cycles: int = 3000,
+) -> bool:
+    """One rumor + anti-entropy-backup trial; True when coverage was total."""
+    cluster = Cluster(topology=topology, seed=seed)
+    protocol = AntiEntropyBackup(
+        rumor_config=RumorConfig(
+            mode=ExchangeMode.PUSH, feedback=True, counter=True, k=k
+        ),
+        anti_entropy_period=anti_entropy_period,
+        recovery=RecoveryStrategy.HOT_RUMOR,
+        selector=selector,
+    )
+    cluster.add_protocol(protocol)
+    cluster.inject_update(start_site, "the-key", "the-value", track=True)
+    metrics = cluster.metrics
+    cluster.run_until(lambda: metrics.infected == cluster.n, max_cycles=max_cycles)
+    return metrics.complete
 
 
 def backup_fixes_pathology(
@@ -191,29 +263,25 @@ def backup_fixes_pathology(
     seed: int = 11,
     anti_entropy_period: int = 4,
     max_cycles: int = 3000,
+    runner: Optional[TrialRunner] = None,
 ) -> PathologyResult:
     """Figure 1 again, but with anti-entropy backing up the rumor:
     coverage must now be total in every trial."""
     topology, s, t, group = builders.figure1_topology(m)
     distances = SiteDistances(topology)
     selector = QPowerSelector(distances, a=2.0)
-    failures = 0
-    for trial in range(trials):
-        cluster = Cluster(topology=topology, seed=derive_seed(seed, trial))
-        protocol = AntiEntropyBackup(
-            rumor_config=RumorConfig(
-                mode=ExchangeMode.PUSH, feedback=True, counter=True, k=k
-            ),
-            anti_entropy_period=anti_entropy_period,
-            recovery=RecoveryStrategy.HOT_RUMOR,
-            selector=selector,
-        )
-        cluster.add_protocol(protocol)
-        cluster.inject_update(s, "the-key", "the-value", track=True)
-        metrics = cluster.metrics
-        cluster.run_until(lambda: metrics.infected == cluster.n, max_cycles=max_cycles)
-        if not metrics.complete:
-            failures += 1
+    complete = resolve_runner(runner).map(
+        run_backup_trial,
+        [
+            dict(
+                topology=topology, selector=selector, k=k, start_site=s,
+                anti_entropy_period=anti_entropy_period,
+                seed=derive_seed(seed, trial), max_cycles=max_cycles,
+            )
+            for trial in range(trials)
+        ],
+    )
+    failures = sum(1 for ok in complete if not ok)
     return PathologyResult(
         trials=trials, failures=failures, died_in_pair=0, missed_lonely=0
     )

@@ -26,6 +26,7 @@ import dataclasses
 from typing import List, Optional, Sequence, Tuple
 
 from repro.cluster.cluster import Cluster
+from repro.experiments.runner import TrialRunner, resolve_runner
 from repro.protocols.anti_entropy import AntiEntropyConfig, AntiEntropyProtocol
 from repro.protocols.base import ExchangeMode
 from repro.protocols.rumor import RumorConfig, RumorMongeringProtocol
@@ -174,26 +175,36 @@ def spatial_table(
     seed: int = 4,
     a_values: Sequence[float] = (1.2, 1.4, 1.6, 1.8, 2.0),
     selectors: Optional[List[Tuple[str, PartnerSelector]]] = None,
+    runner: Optional[TrialRunner] = None,
 ) -> List[SpatialRow]:
-    """Tables 4 (policy=UNLIMITED) and 5 (connection limit 1, hunt 0)."""
+    """Tables 4 (policy=UNLIMITED) and 5 (connection limit 1, hunt 0).
+
+    Each (selector, run) pair is an independent seeded trial; the whole
+    sweep goes to the :class:`TrialRunner` as one batch and results are
+    regrouped per selector, so the rows are identical for any ``jobs``.
+    """
+    runner = resolve_runner(runner)
     if cin is None:
         cin = build_cin_like_topology()
     distances = SiteDistances(cin.topology)
     if selectors is None:
         selectors = standard_selectors(distances, a_values)
     link_count = cin.topology.edge_count
+    params = [
+        dict(
+            topology=cin.topology,
+            selector=selector,
+            seed=derive_seed(seed, label, run),
+            policy=policy,
+            special_link=cin.bushey,
+        )
+        for label, selector in selectors
+        for run in range(runs)
+    ]
+    results = runner.map(run_anti_entropy_trial, params)
     rows: List[SpatialRow] = []
-    for label, selector in selectors:
-        trials = [
-            run_anti_entropy_trial(
-                cin.topology,
-                selector,
-                seed=derive_seed(seed, label, run),
-                policy=policy,
-                special_link=cin.bushey,
-            )
-            for run in range(runs)
-        ]
+    for index, (label, __) in enumerate(selectors):
+        trials = results[index * runs:(index + 1) * runs]
         rows.append(_summarize(label, trials, link_count, runs))
     return rows
 
@@ -205,6 +216,7 @@ def rumor_spatial_table(
     a: float = 1.4,
     ks: Sequence[int] = (2, 3, 4, 5, 6),
     mode: ExchangeMode = ExchangeMode.PUSH_PULL,
+    runner: Optional[TrialRunner] = None,
 ) -> List[SpatialRow]:
     """Section 3.2: push-pull rumor mongering with spatial selection.
 
@@ -212,26 +224,28 @@ def rumor_spatial_table(
     that a modest finite ``k`` recovers Table 4's convergence and
     traffic while cutting critical-link load.
     """
+    runner = resolve_runner(runner)
     if cin is None:
         cin = build_cin_like_topology()
     distances = SiteDistances(cin.topology)
     selector = SortedListSelector(distances, a)
     link_count = cin.topology.edge_count
-    rows: List[SpatialRow] = []
-    for k in ks:
-        config = RumorConfig(
-            mode=mode, feedback=True, counter=True, k=k
+    ks = list(ks)
+    params = [
+        dict(
+            topology=cin.topology,
+            selector=selector,
+            config=RumorConfig(mode=mode, feedback=True, counter=True, k=k),
+            seed=derive_seed(seed, k, run),
+            special_link=cin.bushey,
         )
-        trials = [
-            run_rumor_spatial_trial(
-                cin.topology,
-                selector,
-                config,
-                seed=derive_seed(seed, k, run),
-                special_link=cin.bushey,
-            )
-            for run in range(runs)
-        ]
+        for k in ks
+        for run in range(runs)
+    ]
+    results = runner.map(run_rumor_spatial_trial, params)
+    rows: List[SpatialRow] = []
+    for index, k in enumerate(ks):
+        trials = results[index * runs:(index + 1) * runs]
         rows.append(_summarize(f"k={k}", trials, link_count, runs))
     return rows
 
@@ -268,6 +282,7 @@ def line_scaling(
     a_values: Sequence[float] = (0.0, 1.0, 1.5, 2.0, 3.0),
     runs: int = 5,
     seed: int = 6,
+    runner: Optional[TrialRunner] = None,
 ) -> List[LineScalingRow]:
     """Section 3's line-network tradeoff: traffic vs convergence.
 
@@ -276,7 +291,9 @@ def line_scaling(
     log n (a=2), O(1) (a>2), while convergence time stays polylog for
     a <= 2 and degrades toward polynomial for larger a.
     """
-    rows: List[LineScalingRow] = []
+    runner = resolve_runner(runner)
+    cells: List[Tuple[int, float, int]] = []   # (n, a, link_count)
+    params = []
     for n in ns:
         topology = builders.line(n)
         distances = SiteDistances(topology)
@@ -285,31 +302,35 @@ def line_scaling(
                 selector: PartnerSelector = UniformSelector(topology.sites)
             else:
                 selector = DistancePowerSelector(distances, a)
-            trials = [
-                run_anti_entropy_trial(
-                    topology,
-                    selector,
+            cells.append((n, a, topology.edge_count))
+            params.extend(
+                dict(
+                    topology=topology,
+                    selector=selector,
                     seed=derive_seed(seed, n, a, run),
                     max_cycles=50 * n,
                 )
                 for run in range(runs)
-            ]
-            link_count = topology.edge_count
-            rows.append(
-                LineScalingRow(
-                    n=n,
-                    a=a,
-                    mean_link_traffic=mean(
-                        [
-                            t.compare_total / (link_count * t.cycles)
-                            for t in trials
-                            if t.cycles
-                        ]
-                    ),
-                    t_last=mean([t.t_last for t in trials]),
-                    runs=runs,
-                )
             )
+    results = runner.map(run_anti_entropy_trial, params)
+    rows: List[LineScalingRow] = []
+    for index, (n, a, link_count) in enumerate(cells):
+        trials = results[index * runs:(index + 1) * runs]
+        rows.append(
+            LineScalingRow(
+                n=n,
+                a=a,
+                mean_link_traffic=mean(
+                    [
+                        t.compare_total / (link_count * t.cycles)
+                        for t in trials
+                        if t.cycles
+                    ]
+                ),
+                t_last=mean([t.t_last for t in trials]),
+                runs=runs,
+            )
+        )
     return rows
 
 

@@ -17,6 +17,7 @@ import dataclasses
 from typing import List, Optional, Sequence
 
 from repro.cluster.cluster import Cluster
+from repro.experiments.runner import TrialRunner, resolve_runner
 from repro.protocols.base import ExchangeMode
 from repro.protocols.rumor import RumorConfig, RumorMongeringProtocol
 from repro.sim.metrics import EpidemicMetrics, mean
@@ -66,11 +67,19 @@ def rumor_table(
     seed: int = 0,
     policy: ConnectionPolicy = UNLIMITED,
     minimization: bool = False,
+    runner: Optional[TrialRunner] = None,
 ) -> List[RumorRow]:
-    """Run one table: sweep ``k``, average ``runs`` independent trials."""
-    rows: List[RumorRow] = []
-    for k in ks:
-        config = RumorConfig(
+    """Run one table: sweep ``k``, average ``runs`` independent trials.
+
+    The whole sweep — every ``(k, run)`` pair — is one flat batch
+    handed to the :class:`TrialRunner`, so a parallel runner load-balances
+    across the entire table rather than one row at a time.  Per-trial
+    seeds are explicit, so the rows are identical whatever ``jobs`` is.
+    """
+    runner = resolve_runner(runner)
+    ks = list(ks)
+    configs = {
+        k: RumorConfig(
             mode=mode,
             feedback=feedback,
             counter=counter,
@@ -78,48 +87,58 @@ def rumor_table(
             policy=policy,
             minimization=minimization,
         )
-        residues, traffics, t_aves, t_lasts = [], [], [], []
-        for run in range(runs):
-            metrics = run_rumor_trial(n, config, seed=seed * 10_000 + k * 100 + run)
-            residues.append(metrics.residue)
-            traffics.append(metrics.traffic_per_site)
-            t_aves.append(metrics.t_ave)
-            t_lasts.append(metrics.t_last)
+        for k in ks
+    }
+    params = [
+        dict(n=n, config=configs[k], seed=seed * 10_000 + k * 100 + run)
+        for k in ks
+        for run in range(runs)
+    ]
+    results = runner.map(run_rumor_trial, params)
+    rows: List[RumorRow] = []
+    for index, k in enumerate(ks):
+        metrics_list = results[index * runs:(index + 1) * runs]
         rows.append(
             RumorRow(
                 k=k,
-                residue=mean(residues),
-                traffic=mean(traffics),
-                t_ave=mean(t_aves),
-                t_last=mean(t_lasts),
+                residue=mean([m.residue for m in metrics_list]),
+                traffic=mean([m.traffic_per_site for m in metrics_list]),
+                t_ave=mean([m.t_ave for m in metrics_list]),
+                t_last=mean([m.t_last for m in metrics_list]),
                 runs=runs,
             )
         )
     return rows
 
 
-def table1(n: int = 1000, runs: int = 5, seed: int = 1) -> List[RumorRow]:
+def table1(
+    n: int = 1000, runs: int = 5, seed: int = 1, runner: Optional[TrialRunner] = None
+) -> List[RumorRow]:
     """Push rumor mongering with feedback and counters, k = 1..5."""
     return rumor_table(
         n, ks=range(1, 6), mode=ExchangeMode.PUSH, feedback=True, counter=True,
-        runs=runs, seed=seed,
+        runs=runs, seed=seed, runner=runner,
     )
 
 
-def table2(n: int = 1000, runs: int = 5, seed: int = 2) -> List[RumorRow]:
+def table2(
+    n: int = 1000, runs: int = 5, seed: int = 2, runner: Optional[TrialRunner] = None
+) -> List[RumorRow]:
     """Push rumor mongering, blind and coin, k = 1..5."""
     return rumor_table(
         n, ks=range(1, 6), mode=ExchangeMode.PUSH, feedback=False, counter=False,
-        runs=runs, seed=seed,
+        runs=runs, seed=seed, runner=runner,
     )
 
 
-def table3(n: int = 1000, runs: int = 5, seed: int = 3) -> List[RumorRow]:
+def table3(
+    n: int = 1000, runs: int = 5, seed: int = 3, runner: Optional[TrialRunner] = None
+) -> List[RumorRow]:
     """Pull rumor mongering with feedback and counters (footnote
     semantics: any needy recipient resets the counter), k = 1..3."""
     return rumor_table(
         n, ks=range(1, 4), mode=ExchangeMode.PULL, feedback=True, counter=True,
-        runs=runs, seed=seed,
+        runs=runs, seed=seed, runner=runner,
     )
 
 

@@ -142,13 +142,20 @@ class EventBus:
         self._sinks: List[EventSink] = []
         self._seq = itertools.count()
         self.emitted = 0
+        #: Plain attribute mirror of :attr:`active`, maintained by
+        #: add_sink/remove_sink.  Emit call sites on simulator hot paths
+        #: read it to skip building payload kwargs entirely when nobody
+        #: is listening — one attribute load instead of a property call.
+        self.has_sinks = False
 
     def add_sink(self, sink: EventSink) -> EventSink:
         self._sinks.append(sink)
+        self.has_sinks = True
         return sink
 
     def remove_sink(self, sink: EventSink) -> None:
         self._sinks.remove(sink)
+        self.has_sinks = bool(self._sinks)
 
     @property
     def active(self) -> bool:

@@ -74,14 +74,14 @@ class AckBasedCertificateGC(Protocol):
     def on_site_added(self, site_id: int) -> None:
         self._acks[site_id] = {}
         self._completed[site_id] = set()
-        if isinstance(self._selector, UniformSelector):
-            self._selector = UniformSelector(self.cluster.site_ids)
+        if self._selector is not None:
+            self._selector.rebuild(self.cluster.site_ids)
 
     def on_site_removed(self, site_id: int) -> None:
         self._acks.pop(site_id, None)
         self._completed.pop(site_id, None)
-        if isinstance(self._selector, UniformSelector) and len(self.cluster.site_ids) > 1:
-            self._selector = UniformSelector(self.cluster.site_ids)
+        if self._selector is not None:
+            self._selector.rebuild(self.cluster.site_ids)
 
     # ------------------------------------------------------------------
 

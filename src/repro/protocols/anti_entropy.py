@@ -97,23 +97,24 @@ class AntiEntropyProtocol(Protocol):
         self.ledger = ConnectionLedger(config.policy)
         self.stats = ExchangeStats()
         self._transfer_hooks: List[TransferHook] = []
-        self._auto_selector = False
 
     def attach(self, cluster) -> None:
         super().attach(cluster)
         if self._selector is None:
             self._selector = UniformSelector(cluster.site_ids)
-            self._auto_selector = True
 
-    def _refresh_auto_selector(self) -> None:
-        if self._auto_selector and len(self.cluster.site_ids) >= 2:
-            self._selector = UniformSelector(self.cluster.site_ids)
+    def _refresh_selector(self) -> None:
+        # Any rebuildable selector — auto-created or handed in
+        # explicitly — follows the membership; topology-bound selectors
+        # decline (rebuild returns False) and keep their tables.
+        if self._selector is not None:
+            self._selector.rebuild(self.cluster.site_ids)
 
     def on_site_added(self, site_id: int) -> None:
-        self._refresh_auto_selector()
+        self._refresh_selector()
 
     def on_site_removed(self, site_id: int) -> None:
-        self._refresh_auto_selector()
+        self._refresh_selector()
 
     @property
     def selector(self) -> PartnerSelector:

@@ -91,26 +91,50 @@ class ExchangeSession:
         it as a digest to know which of its entries are newer (this is
         exactly the "one full copy crosses the network" cost Section 1.3's
         cheaper strategies exist to avoid).
+
+        Entries go out in store order, which is deterministic under the
+        simulator's seeded execution; the merge below is per-key, so no
+        sort is needed.
         """
         return [
-            StoreUpdate(key=key, entry=entry)
-            for key, entry in sorted(self.store.entries(), key=lambda kv: repr(kv[0]))
+            StoreUpdate(key=key, entry=entry) for key, entry in self.store.entries()
         ]
 
     def respond(self, offered: Iterable[StoreUpdate]) -> SessionReply:
-        """Resolve the initiator's offer against the local store."""
-        theirs = {update.key: update.entry for update in offered}
-        ours = dict(self.store.entries())
-        keys = theirs.keys() | ours.keys()
-        reply = SessionReply(entries_examined=len(keys))
-        for key in sorted(keys, key=repr):
-            remote = theirs.get(key)
-            local = ours.get(key)
-            if self.mode.pushes and entry_beats(remote, local):
-                self.store.apply_entry(key, remote)
-                reply.applied.append(StoreUpdate(key=key, entry=remote))
-            elif self.mode.pulls and entry_beats(local, remote):
+        """Resolve the initiator's offer against the local store.
+
+        Single pass over the offer plus one over the local-only keys,
+        probing the store directly instead of materializing both tables
+        and sorting their key union.  Mutations are deferred until every
+        decision is made, so each key is judged against the
+        pre-exchange state of the store exactly as before.
+        """
+        store = self.store
+        pushes = self.mode.pushes
+        pulls = self.mode.pulls
+        reply = SessionReply()
+        offered_keys = set()
+        to_apply: List[StoreUpdate] = []
+        examined = 0
+        for update in offered:
+            key = update.key
+            offered_keys.add(key)
+            local = store.entry(key)
+            examined += 1
+            if pushes and entry_beats(update.entry, local):
+                to_apply.append(update)
+            elif pulls and entry_beats(local, update.entry):
                 reply.send_back.append(StoreUpdate(key=key, entry=local))
+        for key, entry in store.entries():
+            if key in offered_keys:
+                continue
+            examined += 1
+            if pulls:
+                reply.send_back.append(StoreUpdate(key=key, entry=entry))
+        reply.entries_examined = examined
+        for update in to_apply:
+            store.apply_entry(update.key, update.entry)
+            reply.applied.append(update)
         return reply
 
     def absorb(self, updates: Iterable[StoreUpdate]) -> List[StoreUpdate]:

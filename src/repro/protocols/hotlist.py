@@ -67,13 +67,11 @@ class HotListProtocol(Protocol):
         self.ledger = ConnectionLedger(policy)
         self.stats = HotListStats()
         self._orders: Dict[int, ActivityOrder] = {}
-        self._auto_selector = False
 
     def attach(self, cluster) -> None:
         super().attach(cluster)
         if self._selector is None:
             self._selector = UniformSelector(cluster.site_ids)
-            self._auto_selector = True
         self._orders = {site_id: ActivityOrder() for site_id in cluster.site_ids}
         # Seed the activity orders with whatever the stores already hold.
         for site_id in cluster.site_ids:
@@ -84,18 +82,20 @@ class HotListProtocol(Protocol):
         for update in self.cluster.sites[site_id].store.updates_newest_first():
             order.touch(update.key)
 
-    def _refresh_auto_selector(self) -> None:
-        if self._auto_selector and len(self.cluster.site_ids) >= 2:
-            self._selector = UniformSelector(self.cluster.site_ids)
+    def _refresh_selector(self) -> None:
+        # Rebuildable selectors (uniform, auto or explicit) follow the
+        # membership; topology-bound selectors keep their tables.
+        if self._selector is not None:
+            self._selector.rebuild(self.cluster.site_ids)
 
     def on_site_added(self, site_id: int) -> None:
         self._orders[site_id] = ActivityOrder()
         self._seed_order(site_id)
-        self._refresh_auto_selector()
+        self._refresh_selector()
 
     def on_site_removed(self, site_id: int) -> None:
         self._orders.pop(site_id, None)
-        self._refresh_auto_selector()
+        self._refresh_selector()
 
     @property
     def selector(self) -> PartnerSelector:

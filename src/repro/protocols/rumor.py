@@ -128,26 +128,26 @@ class RumorMongeringProtocol(Protocol):
         self.ledger = ConnectionLedger(config.policy)
         self.stats = RumorStats()
         self._hot: Dict[int, Dict[Hashable, _Rumor]] = {}
-        self._auto_selector = False
 
     def attach(self, cluster) -> None:
         super().attach(cluster)
         if self._selector is None:
             self._selector = UniformSelector(cluster.site_ids)
-            self._auto_selector = True
         self._hot = {site_id: {} for site_id in cluster.site_ids}
 
-    def _refresh_auto_selector(self) -> None:
-        if self._auto_selector and len(self.cluster.site_ids) >= 2:
-            self._selector = UniformSelector(self.cluster.site_ids)
+    def _refresh_selector(self) -> None:
+        # Rebuildable selectors (uniform, auto or explicit) follow the
+        # membership; topology-bound selectors keep their tables.
+        if self._selector is not None:
+            self._selector.rebuild(self.cluster.site_ids)
 
     def on_site_added(self, site_id: int) -> None:
         self._hot[site_id] = {}
-        self._refresh_auto_selector()
+        self._refresh_selector()
 
     def on_site_removed(self, site_id: int) -> None:
         self._hot.pop(site_id, None)
-        self._refresh_auto_selector()
+        self._refresh_selector()
 
     @property
     def selector(self) -> PartnerSelector:

@@ -53,6 +53,18 @@ class TrafficCounter:
         for u, v in zip(path, path[1:]):
             self.add_edge(u, v, amount)
 
+    def add_edges(self, edges: Iterable[Edge], amount: float = 1.0) -> None:
+        """Charge ``amount`` to already-canonical edges.
+
+        The hot-path companion to :meth:`add_path`: pairs with
+        ``Topology.path_edges``, whose cached tuples are canonical
+        already, skipping the per-message zip and endpoint sort.
+        """
+        counts = self._counts
+        for edge in edges:
+            counts[edge] = counts.get(edge, 0.0) + amount
+            self.total += amount
+
     def on_link(self, u: int, v: int) -> float:
         return self._counts.get(canonical_edge(u, v), 0.0)
 

@@ -28,6 +28,7 @@ class Topology:
         # Caches invalidated on mutation.
         self._dist_cache: Dict[int, Dict[int, int]] = {}
         self._next_hop_cache: Dict[int, Dict[int, int]] = {}
+        self._path_edges_cache: Dict[Tuple[int, int], Tuple[Edge, ...]] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -70,6 +71,7 @@ class Topology:
     def _invalidate(self) -> None:
         self._dist_cache.clear()
         self._next_hop_cache.clear()
+        self._path_edges_cache.clear()
 
     # ------------------------------------------------------------------
     # Accessors
@@ -181,6 +183,24 @@ class Topology:
                 raise ValueError(f"nodes {source} and {destination} are not connected")
             path.append(node)
         return path
+
+    def path_edges(self, source: int, destination: int) -> Tuple[Edge, ...]:
+        """The canonical edges along :meth:`path`, cached per ordered pair.
+
+        Traffic accounting charges the same source/destination pairs
+        over and over (every conversation of a run); caching the edge
+        tuple makes that O(path length) exactly once per pair instead
+        of a next-hop walk plus canonicalization per message.
+        """
+        pair = (source, destination)
+        cached = self._path_edges_cache.get(pair)
+        if cached is None:
+            path = self.path(source, destination)
+            cached = tuple(
+                canonical_edge(u, v) for u, v in zip(path, path[1:])
+            )
+            self._path_edges_cache[pair] = cached
+        return cached
 
     def is_connected(self) -> bool:
         if not self._adjacency:

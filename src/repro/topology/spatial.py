@@ -43,6 +43,17 @@ class PartnerSelector:
         """Exact selection probability (used by tests and analysis)."""
         raise NotImplementedError
 
+    def rebuild(self, sites: Sequence[int]) -> bool:
+        """Adapt to a changed membership; True when the selector did.
+
+        Protocols call this from ``on_site_added``/``on_site_removed``
+        so a selector handed in explicitly does not keep serving a
+        stale site list.  The default is False: topology-bound
+        selectors derive their tables from the network's distances,
+        which dynamic membership on a routed topology does not change.
+        """
+        return False
+
     def describe(self) -> str:
         raise NotImplementedError
 
@@ -65,9 +76,16 @@ class UniformSelector(PartnerSelector):
         return self._sites[pick]
 
     def probability(self, site: int, partner: int) -> float:
-        if partner == site:
+        if partner == site or partner not in self._index:
             return 0.0
         return 1.0 / (len(self._sites) - 1)
+
+    def rebuild(self, sites: Sequence[int]) -> bool:
+        if len(sites) < 2:
+            return False
+        self._sites = list(sites)
+        self._index = {s: i for i, s in enumerate(self._sites)}
+        return True
 
     def describe(self) -> str:
         return "uniform"

@@ -163,3 +163,103 @@ class TestRemoveSite:
         cluster.run_until(cluster.converged, max_cycles=80)
         reference = cluster.sites[cluster.site_ids[0]].store
         assert reference.get("k4") == 4
+
+
+class TestClockSkewOnJoin:
+    """add_site must apply the cluster's clock_skew function (it used
+    to build the late joiner's clock with skew 0 regardless)."""
+
+    def test_late_joiner_gets_skewed_clock(self):
+        cluster = Cluster(n=4, seed=0, clock_skew=lambda site_id: site_id * 0.5)
+        newcomer = cluster.add_site()
+        assert cluster.sites[newcomer].store.clock.skew == newcomer * 0.5
+
+    def test_initial_and_late_sites_agree_on_skew_rule(self):
+        cluster = Cluster(n=3, seed=0, clock_skew=lambda site_id: 2.0)
+        newcomer = cluster.add_site()
+        skews = {
+            site_id: cluster.sites[site_id].store.clock.skew
+            for site_id in cluster.site_ids
+        }
+        assert skews == {site_id: 2.0 for site_id in [0, 1, 2, newcomer]}
+
+    def test_no_skew_function_means_zero_skew(self):
+        cluster = Cluster(n=3, seed=0)
+        newcomer = cluster.add_site()
+        assert cluster.sites[newcomer].store.clock.skew == 0.0
+
+    def test_skewed_timestamps_visible_in_updates(self):
+        cluster = Cluster(n=2, seed=0, clock_skew=lambda site_id: 100.0)
+        cluster.run_cycles(1)
+        newcomer = cluster.add_site()
+        update = cluster.sites[newcomer].store.update("k", "v")
+        assert update.entry.timestamp.time >= 100.0
+
+
+class TestExplicitSelectorRebuild:
+    """An explicitly-passed UniformSelector must follow membership
+    changes instead of serving a stale site list forever."""
+
+    def _cluster_with_explicit_selector(self, protocol_factory, n=6, seed=3):
+        from repro.topology.spatial import UniformSelector
+
+        cluster = Cluster(n=n, seed=seed)
+        selector = UniformSelector(cluster.site_ids)
+        cluster.add_protocol(protocol_factory(selector))
+        return cluster, selector
+
+    def test_anti_entropy_selector_learns_of_newcomer(self):
+        cluster, selector = self._cluster_with_explicit_selector(
+            lambda s: AntiEntropyProtocol(
+                config=AntiEntropyConfig(mode=ExchangeMode.PUSH_PULL), selector=s
+            )
+        )
+        newcomer = cluster.add_site()
+        assert selector.probability(0, newcomer) > 0.0
+
+    def test_anti_entropy_selector_forgets_departed(self):
+        cluster, selector = self._cluster_with_explicit_selector(
+            lambda s: AntiEntropyProtocol(
+                config=AntiEntropyConfig(mode=ExchangeMode.PUSH_PULL), selector=s
+            )
+        )
+        cluster.remove_site(5)
+        assert selector.probability(0, 5) == 0.0
+        cluster.run_cycles(10)  # choices never name the departed site
+
+    def test_rumor_selector_follows_membership(self):
+        cluster, selector = self._cluster_with_explicit_selector(
+            lambda s: RumorMongeringProtocol(RumorConfig(k=2), selector=s)
+        )
+        newcomer = cluster.add_site()
+        cluster.remove_site(1)
+        assert selector.probability(0, newcomer) > 0.0
+        assert selector.probability(0, 1) == 0.0
+
+    def test_epidemic_reaches_newcomer_through_explicit_selector(self):
+        cluster, __ = self._cluster_with_explicit_selector(
+            lambda s: AntiEntropyProtocol(
+                config=AntiEntropyConfig(mode=ExchangeMode.PUSH_PULL), selector=s
+            )
+        )
+        cluster.inject_update(0, "k", "v")
+        cluster.run_cycles(2)
+        newcomer = cluster.add_site()
+        cluster.run_until(cluster.converged, max_cycles=60)
+        assert cluster.sites[newcomer].store.get("k") == "v"
+
+    def test_add_and_remove_mid_epidemic(self):
+        cluster, selector = self._cluster_with_explicit_selector(
+            lambda s: AntiEntropyProtocol(
+                config=AntiEntropyConfig(mode=ExchangeMode.PUSH_PULL), selector=s
+            ),
+            n=8,
+            seed=4,
+        )
+        cluster.inject_update(0, "k", "v")
+        cluster.run_cycles(1)
+        newcomer = cluster.add_site()
+        cluster.remove_site(3)
+        cluster.run_until(cluster.converged, max_cycles=80)
+        assert cluster.sites[newcomer].store.get("k") == "v"
+        assert selector.probability(0, 3) == 0.0
