@@ -10,6 +10,7 @@ the live gossip runtime.
     python -m repro live-demo --nodes 8          # N asyncio nodes on localhost
     python -m repro live-demo --nodes 8 --churn  # kill + restart one mid-run
     python -m repro live-demo --json --trace-file run.jsonl
+    python -m repro trace analyze run.jsonl      # infection trees from a trace
     python -m repro node --config roster.json --id 3
     python -m repro status --config roster.json --id 3
 
@@ -267,6 +268,29 @@ def cmd_bench(args) -> None:
         print(f"no regressions vs {args.compare} (limit {args.max_regression:g}x)")
 
 
+def cmd_trace(args) -> None:
+    """``trace analyze <trace.jsonl>``: infection trees from a trace."""
+    import json
+
+    from repro.obs.events import TraceError, read_trace
+    from repro.obs.lineage import LineageIndex, render_analysis
+
+    rest = list(args.rest)
+    if len(rest) != 2 or rest[0] != "analyze":
+        print("usage: repro trace analyze <trace.jsonl>", file=sys.stderr)
+        raise SystemExit(2)
+    path = rest[1]
+    try:
+        index = LineageIndex.from_events(read_trace(path))
+    except (OSError, TraceError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        raise SystemExit(2) from None
+    if args.json:
+        print(json.dumps(index.to_dict(), indent=2, sort_keys=True))
+    else:
+        print("\n".join(render_analysis(index)))
+
+
 def _node_config(args):
     from repro.net.node import NodeConfig
     from repro.protocols.base import ExchangeMode
@@ -356,10 +380,12 @@ LIVE_COMMANDS: Dict[str, Callable] = {
 }
 
 #: Meta commands: aggregates and tooling, also excluded from ``all``
-#: ('tables' would duplicate table1-3; 'bench' writes report files).
+#: ('tables' would duplicate table1-3; 'bench' writes report files;
+#: 'trace' analyzes an existing trace file).
 META_COMMANDS: Dict[str, Callable] = {
     "tables": cmd_tables,
     "bench": cmd_bench,
+    "trace": cmd_trace,
 }
 
 
@@ -375,6 +401,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(COMMANDS) + sorted(LIVE_COMMANDS) + sorted(META_COMMANDS)
         + ["all"],
         help="which experiment to run ('all' runs every simulator one)",
+    )
+    parser.add_argument(
+        "rest",
+        nargs="*",
+        default=[],
+        metavar="ARG",
+        help="subcommand arguments (only 'trace' takes any: "
+        "trace analyze <trace.jsonl>)",
     )
     parser.add_argument(
         "--runs", type=int, default=10,
@@ -473,6 +507,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
     if args.jobs is not None and args.jobs < 1:
         print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    if args.rest and args.experiment != "trace":
+        print(
+            f"error: unexpected arguments {args.rest!r} "
+            f"(only 'trace' takes positional arguments)",
+            file=sys.stderr,
+        )
         return 2
     try:
         if args.experiment == "all":

@@ -22,6 +22,9 @@ from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 from repro.core.store import ApplyResult, StoreUpdate
 from repro.core.timestamps import SimClock
 from repro.obs.events import EventBus, EventKind
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiling import NULL_PROFILER, Profiler
+from repro.obs.spans import emit_delivery_span, trace_id_of
 from repro.sim.engine import Simulator
 from repro.sim.metrics import EpidemicMetrics, LinkTraffic
 from repro.sim.rng import RngRegistry
@@ -89,6 +92,12 @@ class Cluster:
         self._routable = topology.edge_count > 0
         # Partition state: site -> group id; None means fully connected.
         self._partition: Optional[Dict[int, int]] = None
+        # Phase timers (repro.obs.profiling); the null profiler keeps the
+        # hot path free of perf_counter calls until enable_profiling().
+        self.profiler: Profiler = NULL_PROFILER
+        # trace id -> {site -> hop count}, maintained only while the bus
+        # has sinks; lets delivery spans carry distance-from-origin.
+        self._span_hops: Dict[str, Dict[int, int]] = {}
 
     # ------------------------------------------------------------------
     # Composition
@@ -222,6 +231,18 @@ class Cluster:
     def add_observer(self, observer: NewsObserver) -> None:
         self._observers.append(observer)
 
+    def enable_profiling(self, registry: Optional[MetricsRegistry] = None) -> Profiler:
+        """Swap the null profiler for a real one; returns it.
+
+        Phase timings accumulate as ``repro_phase_seconds_total`` /
+        ``repro_phase_calls_total`` counters on ``registry`` (a fresh
+        one when omitted).  The simulator engine times every callback
+        once enabled, so expect measurable overhead on big runs.
+        """
+        self.profiler = Profiler(registry)
+        self.simulator.profiler = self.profiler
+        return self.profiler
+
     # ------------------------------------------------------------------
     # Client operations
     # ------------------------------------------------------------------
@@ -275,6 +296,20 @@ class Cluster:
                 key=str(update.key),
                 deletion=update.entry.is_deletion,
             )
+            # The injection is the root span of this update's trace:
+            # hop 0, no delivering source.
+            trace = trace_id_of(update)
+            self._span_hops.setdefault(trace, {})[site_id] = 0
+            emit_delivery_span(
+                self.bus,
+                node=site_id,
+                update=update,
+                result=ApplyResult.APPLIED,
+                trace=trace,
+                src=None,
+                hop=0,
+                first=True,
+            )
         for protocol in self.protocols:
             protocol.on_local_update(site_id, update)
 
@@ -306,17 +341,44 @@ class Cluster:
     # Protocol-facing hooks
     # ------------------------------------------------------------------
 
-    def apply_at(self, site_id: int, update: StoreUpdate, via) -> ApplyResult:
+    def apply_at(
+        self, site_id: int, update: StoreUpdate, via, source: Optional[int] = None
+    ) -> ApplyResult:
         """Merge a received update into ``site_id``'s store and fan out
         news notifications.  ``via`` is the delivering protocol (or
         ``None``); other protocols get ``on_news`` so that, e.g., a
-        mail delivery can become a hot rumor."""
+        mail delivery can become a hot rumor.  ``source`` is the site
+        the update arrived from, when the protocol knows it — it becomes
+        the parent of the delivery span."""
         result = self.sites[site_id].store.apply_entry(update.key, update.entry)
         if result.was_news:
-            self.notify_news(site_id, update, result, via)
+            self.notify_news(site_id, update, result, via, source=source)
+        elif self.bus.has_sinks and source is not None:
+            # A targeted delivery the receiver already knew: redundant
+            # traffic, attributed to its link in the infection tree.
+            trace = trace_id_of(update)
+            hops = self._span_hops.get(trace)
+            src_hop = None if hops is None else hops.get(source)
+            emit_delivery_span(
+                self.bus,
+                node=site_id,
+                update=update,
+                result=result,
+                trace=trace,
+                src=source,
+                hop=None if src_hop is None else src_hop + 1,
+                first=False,
+            )
         return result
 
-    def notify_news(self, site_id: int, update: StoreUpdate, result: ApplyResult, via) -> None:
+    def notify_news(
+        self,
+        site_id: int,
+        update: StoreUpdate,
+        result: ApplyResult,
+        via,
+        source: Optional[int] = None,
+    ) -> None:
         if self.metrics is not None and self._matches_tracked(update):
             self.metrics.record_receipt(site_id, float(self.cycle))
         if self.bus.has_sinks:
@@ -330,6 +392,22 @@ class Cluster:
                 self.bus.emit(
                     EventKind.DEATH_CERT_ACTIVATED, node=site_id, key=str(update.key)
                 )
+            trace = trace_id_of(update)
+            hops = self._span_hops.setdefault(trace, {})
+            src_hop = None if source is None else hops.get(source)
+            hop = None if src_hop is None else src_hop + 1
+            if hop is not None:
+                hops.setdefault(site_id, hop)
+            emit_delivery_span(
+                self.bus,
+                node=site_id,
+                update=update,
+                result=result,
+                trace=trace,
+                src=source,
+                hop=hop,
+                first=True,
+            )
         for protocol in self.protocols:
             if protocol is not via:
                 protocol.on_news(site_id, update, result)
@@ -381,11 +459,12 @@ class Cluster:
         if self.metrics is not None:
             self.metrics.cycles_run = self.cycle
         if self.bus.has_sinks:
-            self.bus.emit(
-                EventKind.CYCLE_COMPLETED,
-                cycle=self.cycle,
-                engine=self.simulator.stats(),
-            )
+            with self.profiler.phase("emit"):
+                self.bus.emit(
+                    EventKind.CYCLE_COMPLETED,
+                    cycle=self.cycle,
+                    engine=self.simulator.stats(),
+                )
 
     def run_cycles(self, count: int) -> None:
         for __ in range(count):

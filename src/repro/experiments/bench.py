@@ -14,10 +14,12 @@ centers:
 * **live-demo** — the asyncio runtime pushing one update through real
   TCP sockets on localhost.
 
-Two targeted measurements ride along: the parallel-over-serial speedup
-of the trial runner on this machine, and a per-conversation
+Three targeted measurements ride along: the parallel-over-serial
+speedup of the trial runner on this machine, a per-conversation
 micro-benchmark of the optimized exchange session against a reference
-implementation of the original sort-the-key-union exchange.
+implementation of the original sort-the-key-union exchange, and the
+overhead of the delivery-span stream (:mod:`repro.obs.spans`) measured
+as identical seeded epidemics with the event bus silent vs consumed.
 
 ``--quick`` shrinks every scenario for CI smoke runs;
 ``--compare BASELINE.json`` fails (exit 1) when any scenario regresses
@@ -281,6 +283,65 @@ def measure_exchange_hot_path(quick: bool) -> Dict[str, Any]:
 
 
 # ----------------------------------------------------------------------
+# Span-emission overhead
+# ----------------------------------------------------------------------
+
+
+def _span_bench_epidemic(n: int, sink) -> Tuple[float, int]:
+    """One seeded rumor epidemic; returns (wall clock, cycles run).
+
+    With ``sink`` attached the bus has a consumer, so every delivery
+    emits a span; with ``sink=None`` the bus is silent and the
+    ``has_sinks`` fast path skips span construction entirely.
+    """
+    from repro.cluster.cluster import Cluster
+    from repro.protocols.base import ExchangeMode
+    from repro.protocols.rumor import RumorConfig, RumorMongeringProtocol
+
+    cluster = Cluster(n=n, seed=1987)
+    if sink is not None:
+        cluster.bus.add_sink(sink)
+    rumor = RumorMongeringProtocol(
+        config=RumorConfig(mode=ExchangeMode.PUSH, feedback=True, counter=True, k=2)
+    )
+    cluster.add_protocol(rumor)
+    cluster.inject_update(0, "the-key", "the-value", track=True)
+    start = time.perf_counter()
+    # Run the epidemic to extinction (rumors die with nonzero residue).
+    cluster.run_until(lambda: not rumor.active, max_cycles=200)
+    return time.perf_counter() - start, cluster.cycle
+
+
+def measure_span_emission_overhead(quick: bool) -> Dict[str, Any]:
+    """Cost of the delivery-span stream: identical epidemics with the
+    event bus silent vs consumed.
+
+    Both runs share one seed so the gossip trajectory is bit-identical;
+    only the observability work differs.  The consuming run uses a
+    counting no-op sink — the cheapest possible consumer — so the
+    factor isolates span construction + dispatch, not any particular
+    sink's work.
+    """
+    events = 0
+
+    def sink(event) -> None:
+        nonlocal events
+        events += 1
+
+    n = 150 if quick else 500
+    disabled_s, cycles = _span_bench_epidemic(n, sink=None)
+    enabled_s, _ = _span_bench_epidemic(n, sink=sink)
+    return {
+        "n": n,
+        "cycles": cycles,
+        "disabled_s": round(disabled_s, 4),
+        "enabled_s": round(enabled_s, 4),
+        "overhead_factor": round(enabled_s / disabled_s, 3) if disabled_s > 0 else 0.0,
+        "events": events,
+    }
+
+
+# ----------------------------------------------------------------------
 # Report assembly, serialization, regression gating
 # ----------------------------------------------------------------------
 
@@ -307,6 +368,8 @@ def run_bench(
     parallel = measure_parallel_speedup(quick, jobs)
     say("bench: exchange hot path ...")
     exchange = measure_exchange_hot_path(quick)
+    say("bench: span emission overhead ...")
+    spans = measure_span_emission_overhead(quick)
     return {
         "schema": SCHEMA,
         "date": datetime.date.today().isoformat(),
@@ -318,6 +381,7 @@ def run_bench(
         "scenarios": [scenario.to_dict() for scenario in scenarios],
         "parallel": parallel,
         "exchange_hot_path": exchange,
+        "span_emission": spans,
     }
 
 
@@ -391,4 +455,11 @@ def summary_lines(report: Dict[str, Any]) -> List[str]:
         f"optimized {exchange['optimized_s_per_conversation']}s, "
         f"{exchange['entries']} entries)"
     )
+    spans = report.get("span_emission")
+    if spans:  # older reports predate the span stream
+        lines.append(
+            f"  span emission: {spans['overhead_factor']:g}x overhead "
+            f"(silent {spans['disabled_s']}s, consumed {spans['enabled_s']}s, "
+            f"{spans['events']} events, n={spans['n']})"
+        )
     return lines

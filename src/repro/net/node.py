@@ -32,7 +32,7 @@ import dataclasses
 import random
 import socket
 import time
-from typing import Any, Dict, Hashable, List, Optional
+from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 from repro.core.serialize import (
     SerializeError,
@@ -45,12 +45,19 @@ from repro.net.membership import Membership, PeerInfo
 from repro.net.peer import InFlightBudget, Peer, PeerError, RetryPolicy
 from repro.obs.events import EventBus, EventKind
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiling import Profiler
+from repro.obs.spans import SpanContext, emit_delivery_span, trace_id_of
 from repro.net.wire import (
+    BASE_VERSION,
     MAX_FRAME_BYTES,
     Message,
     MessageType,
+    PROTOCOL_VERSION,
+    TRACE_WIRE_VERSION,
     WireError,
     encode_message,
+    negotiated_version,
+    payload_span_contexts,
     payload_updates,
     read_message,
 )
@@ -243,6 +250,17 @@ class GossipNode:
         self._tasks: List[asyncio.Task] = []
         self._started_at = time.time()
         self.stats = NodeStats()
+        # Phase timers share the stats registry, so profiling numbers
+        # travel in every STATUS snapshot.  Live granularity is one
+        # network conversation — timing overhead is noise at that scale.
+        self.profiler = Profiler(registry=self.stats.registry)
+        # trace id -> this node's hop distance from the update's origin,
+        # forwarded as the trace context of outbound update lists.
+        self._span_hops: Dict[str, int] = {}
+        # peer id -> highest wire version that peer has advertised.
+        # Until a peer advertises v2 it is assumed to be a v1 node and
+        # gets v1 frames with no trace-context fields.
+        self._peer_versions: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -276,10 +294,16 @@ class GossipNode:
         for task in self._tasks:
             task.cancel()
         for task in self._tasks:
-            try:
-                await task
-            except asyncio.CancelledError:
-                pass
+            # On 3.11, wait_for can swallow a cancellation when its
+            # inner future completes in the same event-loop step
+            # (bpo-42130), leaving the loop task running with the
+            # cancel request consumed.  Keep cancelling until the task
+            # actually finishes instead of awaiting it once.
+            while not task.done():
+                task.cancel()
+                await asyncio.wait((task,), timeout=1.0)
+            if not task.cancelled():
+                task.exception()  # retrieved, so the loop never warns
         self._tasks = []
         if self._server is not None:
             self._server.close()
@@ -301,6 +325,12 @@ class GossipNode:
 
     async def _periodic(self, interval: float, step) -> None:
         while True:
+            task = asyncio.current_task()
+            if task is not None and task.cancelling():
+                # A wait_for inside the step can swallow a pending
+                # cancellation (bpo-42130); the request stays visible in
+                # cancelling() because nothing uncancels, so honor it.
+                raise asyncio.CancelledError
             # Jitter desynchronizes the loops across nodes, like the
             # independent per-site timers of the paper's model.
             await asyncio.sleep(interval * (0.5 + self._rng.random()))
@@ -320,21 +350,42 @@ class GossipNode:
     def inject(self, key: Hashable, value: Any) -> StoreUpdate:
         """A client write at this node; becomes a hot rumor."""
         update = self.store.update(key, value)
-        self.bus.emit(
-            EventKind.UPDATE_INJECTED, node=self.node_id, key=str(key), deletion=False
-        )
-        self._note_news([update])
+        self._announce_injection(update, deletion=False)
         self._make_hot(update)
         return update
 
     def delete(self, key: Hashable) -> StoreUpdate:
         update = self.store.delete(key)
-        self.bus.emit(
-            EventKind.UPDATE_INJECTED, node=self.node_id, key=str(key), deletion=True
-        )
-        self._note_news([update])
+        self._announce_injection(update, deletion=True)
         self._make_hot(update)
         return update
+
+    def _announce_injection(self, update: StoreUpdate, deletion: bool) -> None:
+        """Emit the injection events with one shared timestamp, so the
+        trace replay and the node's own receipt record agree exactly."""
+        now = time.time()
+        trace = trace_id_of(update)
+        self._span_hops.setdefault(trace, 0)
+        self.bus.emit(
+            EventKind.UPDATE_INJECTED,
+            node=self.node_id,
+            time=now,
+            key=str(update.key),
+            deletion=deletion,
+        )
+        self._note_news([update], now=now)
+        if self.bus.has_sinks:
+            emit_delivery_span(
+                self.bus,
+                node=self.node_id,
+                update=update,
+                result=ApplyResult.APPLIED,
+                trace=trace,
+                src=None,
+                hop=0,
+                first=True,
+                time=now,
+            )
 
     # ------------------------------------------------------------------
     # Outbound: anti-entropy
@@ -348,7 +399,8 @@ class GossipNode:
         for attempt in range(self.config.hunt_limit + 1):
             if attempt:
                 self.stats.hunts += 1
-            partner_id = self._selector.choose(self.node_id, self._rng)
+            with self.profiler.phase("partner-selection"):
+                partner_id = self._selector.choose(self.node_id, self._rng)
             peer = self.peers[partner_id]
             self.bus.emit(
                 EventKind.EXCHANGE_STARTED,
@@ -361,7 +413,8 @@ class GossipNode:
             began = time.monotonic()
             try:
                 async with self._budget:
-                    accepted = await self._anti_entropy_with(peer)
+                    with self.profiler.phase("exchange"):
+                        accepted = await self._anti_entropy_with(peer)
             except (PeerError, WireError):
                 self.stats.peer_failures += 1
                 continue  # partner down: hunt for another, like a busy site
@@ -399,13 +452,12 @@ class GossipNode:
         request_type = (
             MessageType.PUSH if mode.pushes else MessageType.PULL_REQUEST
         )
+        payload = {"mode": mode.value, "updates": encode_updates(offered)}
+        if mode.pushes and self.wire_version(peer.node_id) >= TRACE_WIRE_VERSION:
+            payload["spans"] = self._span_contexts(offered, time.time())
         reply = await self._call(
             peer,
-            Message(
-                type=request_type,
-                sender=self.node_id,
-                payload={"mode": mode.value, "updates": encode_updates(offered)},
-            ),
+            Message(type=request_type, sender=self.node_id, payload=payload),
         )
         if _rejected(reply):
             return False
@@ -414,10 +466,15 @@ class GossipNode:
         shipped += sent
         if reply.type is MessageType.PULL_REPLY:
             incoming = payload_updates(reply.payload)
+            ctxs = payload_span_contexts(reply.payload, len(incoming))
             received += len(incoming)
-            absorbed = session.absorb(incoming)
+            with self.profiler.phase("merge"):
+                applied = session.absorb_with_results(incoming)
+            now = time.time()
+            self._record_deliveries(applied, src=peer.node_id, ctxs=ctxs, now=now)
+            absorbed = [update for update, result in applied if result.was_news]
             self.stats.updates_absorbed += len(absorbed)
-            self._note_news(absorbed)
+            self._note_news(absorbed, now=now)
         self._settled(peer, mode, via, shipped, received)
         return True
 
@@ -451,18 +508,17 @@ class GossipNode:
         or ``None`` when the partner refused the conversation.
         """
         recent = self.store.recent_updates(self.config.tau) if mode.pushes else []
+        payload = {
+            "mode": mode.value,
+            "checksum": self.store.checksum,
+            "tau": self.config.tau,
+            "updates": encode_updates(recent),
+        }
+        if recent and self.wire_version(peer.node_id) >= TRACE_WIRE_VERSION:
+            payload["spans"] = self._span_contexts(recent, time.time())
         reply = await self._call(
             peer,
-            Message(
-                type=MessageType.CHECKSUM,
-                sender=self.node_id,
-                payload={
-                    "mode": mode.value,
-                    "checksum": self.store.checksum,
-                    "tau": self.config.tau,
-                    "updates": encode_updates(recent),
-                },
-            ),
+            Message(type=MessageType.CHECKSUM, sender=self.node_id, payload=payload),
         )
         if _rejected(reply):
             return None
@@ -471,9 +527,14 @@ class GossipNode:
         self.stats.updates_shipped += len(recent)
         session = ExchangeSession(self.store, mode)
         incoming = payload_updates(reply.payload)
-        absorbed = session.absorb(incoming)
+        ctxs = payload_span_contexts(reply.payload, len(incoming))
+        with self.profiler.phase("merge"):
+            applied = session.absorb_with_results(incoming)
+        now = time.time()
+        self._record_deliveries(applied, src=peer.node_id, ctxs=ctxs, now=now)
+        absorbed = [update for update, result in applied if result.was_news]
         self.stats.updates_absorbed += len(absorbed)
-        self._note_news(absorbed)
+        self._note_news(absorbed, now=now)
         theirs = reply.payload.get("checksum")
         settled = isinstance(theirs, int) and theirs == self.store.checksum
         self.bus.emit(
@@ -493,18 +554,23 @@ class GossipNode:
             return False
         rumors = list(self._hot.values())
         updates = [rumor.update for rumor in rumors]
-        partner_id = self._selector.choose(self.node_id, self._rng)
+        with self.profiler.phase("partner-selection"):
+            partner_id = self._selector.choose(self.node_id, self._rng)
         peer = self.peers[partner_id]
+        payload = {"updates": encode_updates(updates)}
+        if self.wire_version(partner_id) >= TRACE_WIRE_VERSION:
+            payload["spans"] = self._span_contexts(updates, time.time())
         try:
             async with self._budget:
-                reply = await self._call(
-                    peer,
-                    Message(
-                        type=MessageType.RUMOR,
-                        sender=self.node_id,
-                        payload={"updates": encode_updates(updates)},
-                    ),
-                )
+                with self.profiler.phase("exchange"):
+                    reply = await self._call(
+                        peer,
+                        Message(
+                            type=MessageType.RUMOR,
+                            sender=self.node_id,
+                            payload=payload,
+                        ),
+                    )
         except (PeerError, WireError):
             self.stats.peer_failures += 1
             return False
@@ -578,6 +644,21 @@ class GossipNode:
             writer.close()
 
     def _handle(self, message: Message) -> Optional[Message]:
+        """Handle one inbound frame; returns the reply frame.
+
+        Wraps :meth:`_dispatch` with version negotiation: the sender's
+        ``max`` advert is remembered, and the reply is stamped with the
+        negotiated version — a v1 peer gets a pure v1 frame back, a v2
+        peer a v2 frame whose payload may carry trace contexts.
+        """
+        version = negotiated_version(message)
+        self._peer_versions[message.sender] = version
+        reply = self._dispatch(message)
+        if reply is None or reply.version == version:
+            return reply
+        return dataclasses.replace(reply, version=version)
+
+    def _dispatch(self, message: Message) -> Optional[Message]:
         """Dispatch one inbound frame; returns the reply frame."""
         if message.type is MessageType.STATUS:
             # Introspection is served even while gossip is being
@@ -621,16 +702,29 @@ class GossipNode:
         if message.type is MessageType.PULL_REQUEST:
             # The offer is a digest only: never apply, only serve back.
             mode = ExchangeMode.PULL
+        ctxs = payload_span_contexts(message.payload, len(offered))
+        ctx_by_key = {u.key: ctx for u, ctx in zip(offered, ctxs)}
         session = ExchangeSession(self.store, mode)
-        reply = session.respond(offered)
-        self._note_news(reply.applied)
+        with self.profiler.phase("merge"):
+            reply = session.respond(offered)
+        now = time.time()
+        self._record_deliveries(
+            list(zip(reply.applied, reply.applied_results)),
+            src=message.sender,
+            ctxs=[ctx_by_key.get(u.key) for u in reply.applied],
+            now=now,
+        )
+        self._note_news(reply.applied, now=now)
         self.stats.updates_absorbed += len(reply.applied)
         if mode.pulls:
             self.stats.updates_shipped += len(reply.send_back)
+            payload = {"updates": encode_updates(reply.send_back)}
+            if self.wire_version(message.sender) >= TRACE_WIRE_VERSION:
+                payload["spans"] = self._span_contexts(reply.send_back, now)
             return Message(
                 type=MessageType.PULL_REPLY,
                 sender=self.node_id,
-                payload={"updates": encode_updates(reply.send_back)},
+                payload=payload,
             )
         return self._ack({"applied": len(reply.applied)})
 
@@ -639,31 +733,44 @@ class GossipNode:
             return self._ack(self._probe_payload())
         mode = _decode_mode(message.payload)
         session = ExchangeSession(self.store, mode)
-        absorbed = session.absorb(payload_updates(message.payload))
-        self._note_news(absorbed)
+        incoming = payload_updates(message.payload)
+        ctxs = payload_span_contexts(message.payload, len(incoming))
+        with self.profiler.phase("merge"):
+            applied = session.absorb_with_results(incoming)
+        now = time.time()
+        self._record_deliveries(applied, src=message.sender, ctxs=ctxs, now=now)
+        absorbed = [update for update, result in applied if result.was_news]
+        self._note_news(absorbed, now=now)
         self.stats.updates_absorbed += len(absorbed)
         tau = message.payload.get("tau", self.config.tau)
         if not isinstance(tau, (int, float)) or isinstance(tau, bool) or tau <= 0:
             raise WireError(f"bad tau {tau!r}")
         recent = self.store.recent_updates(float(tau)) if mode.pulls else []
         self.stats.updates_shipped += len(recent)
+        payload = {
+            "checksum": self.store.checksum,
+            "updates": encode_updates(recent),
+        }
+        if self.wire_version(message.sender) >= TRACE_WIRE_VERSION:
+            payload["spans"] = self._span_contexts(recent, now)
         return Message(
             type=MessageType.CHECKSUM,
             sender=self.node_id,
-            payload={
-                "checksum": self.store.checksum,
-                "updates": encode_updates(recent),
-            },
+            payload=payload,
         )
 
     def _handle_rumor(self, message: Message) -> Message:
         updates = payload_updates(message.payload)
+        ctxs = payload_span_contexts(message.payload, len(updates))
+        with self.profiler.phase("merge"):
+            applied = [(u, self.store.apply_update(u)) for u in updates]
+        now = time.time()
+        self._record_deliveries(applied, src=message.sender, ctxs=ctxs, now=now)
         news: List[bool] = []
-        for update in updates:
-            result = self.store.apply_update(update)
+        for update, result in applied:
             news.append(result.was_news)
             if result.was_news:
-                self._note_news([update])
+                self._note_news([update], now=now)
                 self._note_reactivation(update, result)
                 self._make_hot(update)  # infection: the rumor spreads here too
         self.stats.updates_absorbed += sum(news)
@@ -679,12 +786,16 @@ class GossipNode:
                 {"applied": True, "timestamp": encode_timestamp(update.timestamp)}
             )
         updates = payload_updates(payload)
+        ctxs = payload_span_contexts(payload, len(updates))
+        with self.profiler.phase("merge"):
+            applied = [(u, self.store.apply_update(u)) for u in updates]
+        now = time.time()
+        self._record_deliveries(applied, src=message.sender, ctxs=ctxs, now=now)
         news: List[bool] = []
-        for update in updates:
-            result = self.store.apply_update(update)
+        for update, result in applied:
             news.append(result.was_news)
             if result.was_news:
-                self._note_news([update])
+                self._note_news([update], now=now)
                 self._note_reactivation(update, result)
         self.stats.updates_absorbed += sum(news)
         return self._ack({"news": news})
@@ -737,6 +848,13 @@ class GossipNode:
                 "anti_entropy_interval": self.config.anti_entropy_interval,
                 "rumor_interval": self.config.rumor_interval,
             },
+            "wire": {
+                "version": PROTOCOL_VERSION,
+                "peers": {
+                    str(peer_id): version
+                    for peer_id, version in sorted(self._peer_versions.items())
+                },
+            },
             "metrics": self.stats.registry.snapshot(),
         }
 
@@ -748,13 +866,79 @@ class GossipNode:
         self.stats.count_sent(message.type)
         reply = await peer.call(message)
         self.stats.count_received(reply.type)
+        self._peer_versions[reply.sender] = negotiated_version(reply)
         return reply
+
+    def wire_version(self, peer_id: int) -> int:
+        """The wire version negotiated with ``peer_id`` so far."""
+        return self._peer_versions.get(peer_id, BASE_VERSION)
+
+    def _span_contexts(
+        self, updates: List[StoreUpdate], now: float
+    ) -> List[Dict[str, Any]]:
+        """The ``spans`` payload field for an outbound update list."""
+        contexts = []
+        for update in updates:
+            trace = trace_id_of(update)
+            contexts.append(
+                SpanContext(
+                    trace=trace, hop=self._span_hops.get(trace), sent_at=now
+                ).to_wire()
+            )
+        return contexts
+
+    def _record_deliveries(
+        self,
+        pairs: List[Tuple[StoreUpdate, ApplyResult]],
+        src: int,
+        ctxs: Optional[List[Optional[SpanContext]]] = None,
+        now: Optional[float] = None,
+    ) -> None:
+        """Account one batch of deliveries from peer ``src``.
+
+        Learns this node's hop distance from each update's origin (the
+        sender's hop + 1, when the sender sent a trace context) and
+        emits one delivery span per update.  The trace id is always
+        derived locally from the update itself — the wire context only
+        contributes hop and send-time, so a garbled context cannot
+        reroute a span into another update's tree.
+        """
+        if not pairs:
+            return
+        if now is None:
+            now = time.time()
+        has_sinks = self.bus.has_sinks
+        with self.profiler.phase("emit"):
+            for index, (update, result) in enumerate(pairs):
+                ctx = ctxs[index] if ctxs is not None and index < len(ctxs) else None
+                trace = trace_id_of(update)
+                hop = None
+                if ctx is not None and ctx.hop is not None:
+                    hop = ctx.hop + 1
+                if result.was_news and hop is not None:
+                    self._span_hops.setdefault(trace, hop)
+                if has_sinks:
+                    emit_delivery_span(
+                        self.bus,
+                        node=self.node_id,
+                        update=update,
+                        result=result,
+                        trace=trace,
+                        src=src,
+                        hop=hop,
+                        sent_at=None if ctx is None else ctx.sent_at,
+                        first=result.was_news,
+                        time=now,
+                    )
 
     def _ack(self, payload: Dict[str, Any]) -> Message:
         return Message(type=MessageType.ACK, sender=self.node_id, payload=payload)
 
-    def _note_news(self, updates: List[StoreUpdate]) -> None:
-        now = time.time()
+    def _note_news(
+        self, updates: List[StoreUpdate], now: Optional[float] = None
+    ) -> None:
+        if now is None:
+            now = time.time()
         for update in updates:
             if update.key not in self.stats.received:
                 self.stats.received[update.key] = now

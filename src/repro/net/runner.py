@@ -315,7 +315,13 @@ async def live_demo(
     bus = EventBus()
     tracker = ConvergenceTracker(n=nodes, key=key)
     bus.add_sink(tracker.observe)
-    writer = JsonlTraceWriter(trace_file) if trace_file is not None else None
+    # flush_every=1: a live demo may be SIGTERMed (CI timeouts, ^C) and
+    # the tail of the trace is exactly the part that matters then.
+    writer = (
+        JsonlTraceWriter(trace_file, flush_every=1)
+        if trace_file is not None
+        else None
+    )
     if writer is not None:
         bus.add_sink(writer)
     statuses: Dict[int, Dict[str, Any]] = {}

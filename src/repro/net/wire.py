@@ -3,13 +3,23 @@
 A frame is a 4-byte big-endian length prefix followed by a UTF-8 JSON
 body::
 
-    {"v": 1, "type": "push", "sender": 3, "payload": {...}}
+    {"v": 1, "max": 2, "type": "push", "sender": 3, "payload": {...}}
 
 The versioned header lets incompatible future formats be rejected
 cleanly instead of misparsed.  Bodies reuse the checkpoint codec of
 :mod:`repro.core.serialize` for entries, so anything that crosses the
 wire is exactly what a checkpoint would contain — death certificates
 with activation timestamps and retention lists included.
+
+**Version negotiation.**  ``v`` is the version this frame is written
+in; ``max`` advertises the highest version the sender understands.
+Decoders (including the original v1 decoder) ignore unknown top-level
+and payload keys, so the advert is backward compatible: a v1 peer sees
+a plain v1 frame and never learns about ``max``.  A node replies at
+``min(own max, peer's advertised max)`` — see :func:`negotiated_version`
+— and only attaches v2-only payload fields (the per-update trace
+contexts of :mod:`repro.obs.spans`) once the peer has advertised v2.
+v2 changes nothing else: every v1 field keeps its meaning.
 
 Message types map onto the paper's mechanisms:
 
@@ -53,7 +63,15 @@ from typing import Any, Dict, Optional
 
 from repro.core.serialize import SerializeError
 
-PROTOCOL_VERSION = 1
+#: Highest wire version this build speaks.
+PROTOCOL_VERSION = 2
+#: The version frames are stamped with by default — the floor every
+#: peer understands.
+BASE_VERSION = 1
+#: Versions this decoder accepts.
+SUPPORTED_VERSIONS = frozenset({1, 2})
+#: First version whose payloads may carry per-update trace contexts.
+TRACE_WIRE_VERSION = 2
 
 #: Hard ceiling on one frame's body size (16 MiB).  Full-table offers
 #: for the demo workloads are a few KiB; this bound exists to stop a
@@ -84,18 +102,32 @@ _TYPES_BY_VALUE = {t.value: t for t in MessageType}
 
 @dataclasses.dataclass(frozen=True, slots=True)
 class Message:
-    """One framed message: a type, the sending node's id, and a payload."""
+    """One framed message: a type, the sending node's id, and a payload.
+
+    ``version`` is the version the frame is (or was) written in;
+    ``max_version`` is the sender's advertised ceiling.  Inbound, a
+    frame without a ``max`` key (a v1 peer) decodes with
+    ``max_version == version``.
+    """
 
     type: MessageType
     sender: int
     payload: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    version: int = BASE_VERSION
+    max_version: int = PROTOCOL_VERSION
+
+
+def negotiated_version(message: Message, ours: int = PROTOCOL_VERSION) -> int:
+    """The highest version both we and ``message``'s sender speak."""
+    return min(ours, message.max_version)
 
 
 def encode_message(message: Message, max_frame: int = MAX_FRAME_BYTES) -> bytes:
     """Encode ``message`` as one length-prefixed frame."""
     body = json.dumps(
         {
-            "v": PROTOCOL_VERSION,
+            "v": message.version,
+            "max": message.max_version,
             "type": message.type.value,
             "sender": message.sender,
             "payload": message.payload,
@@ -118,10 +150,15 @@ def decode_body(body: bytes) -> Message:
     if not isinstance(blob, dict):
         raise WireError(f"frame body must be an object, got {type(blob).__name__}")
     version = blob.get("v")
-    if version != PROTOCOL_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise WireError(
-            f"unsupported wire version {version!r} (this node speaks {PROTOCOL_VERSION})"
+            f"unsupported wire version {version!r} "
+            f"(this node speaks up to {PROTOCOL_VERSION})"
         )
+    max_version = blob.get("max", version)
+    if not isinstance(max_version, int) or isinstance(max_version, bool):
+        max_version = version
+    max_version = max(version, max_version)
     type_name = blob.get("type")
     message_type = _TYPES_BY_VALUE.get(type_name)
     if message_type is None:
@@ -132,7 +169,13 @@ def decode_body(body: bytes) -> Message:
     payload = blob.get("payload", {})
     if not isinstance(payload, dict):
         raise WireError(f"payload must be an object, got {type(payload).__name__}")
-    return Message(type=message_type, sender=sender, payload=payload)
+    return Message(
+        type=message_type,
+        sender=sender,
+        payload=payload,
+        version=version,
+        max_version=max_version,
+    )
 
 
 async def read_message(
@@ -178,3 +221,22 @@ def payload_updates(payload: Dict[str, Any], field: str = "updates"):
         return decode_updates(payload.get(field, []))
     except SerializeError as error:
         raise WireError(f"bad {field!r} in payload: {error}") from None
+
+
+def payload_span_contexts(
+    payload: Dict[str, Any], count: int, field: str = "spans"
+) -> list:
+    """Decode the per-update trace contexts riding beside an update list.
+
+    Returns one ``Optional[SpanContext]`` per update.  Trace contexts
+    are observability, not data: anything missing or malformed — absent
+    field (a v1 peer), wrong length, wrong types — degrades to ``None``
+    entries instead of raising, so a bad span annotation can never
+    poison an otherwise valid exchange.
+    """
+    from repro.obs.spans import SpanContext
+
+    blobs = payload.get(field)
+    if not isinstance(blobs, list) or len(blobs) != count:
+        return [None] * count
+    return [SpanContext.from_wire(blob) for blob in blobs]

@@ -51,6 +51,7 @@ class EventKind(enum.Enum):
     UPDATE_INJECTED = "update-injected"
     NEWS_RECEIVED = "news-received"
     DEATH_CERT_ACTIVATED = "death-cert-activated"
+    DELIVERY_SPAN = "delivery-span"
     # Anti-entropy
     EXCHANGE_STARTED = "exchange-started"
     EXCHANGE_SETTLED = "exchange-settled"
@@ -227,10 +228,19 @@ class RingBufferSink:
 
 
 class JsonlTraceWriter:
-    """Writes each event as one JSON line; usable as a context manager."""
+    """Writes each event as one JSON line; usable as a context manager.
 
-    def __init__(self, path: Union[str, pathlib.Path]):
+    ``flush_every`` bounds how many tail events a killed process can
+    lose: the writer flushes the OS-level buffer after every N events
+    (``1`` = after each event, for long live runs that may be
+    SIGTERMed; ``0`` = never flush until close, for throughput).
+    """
+
+    def __init__(self, path: Union[str, pathlib.Path], flush_every: int = 256):
+        if flush_every < 0:
+            raise ValueError("flush_every must be >= 0")
         self.path = pathlib.Path(path)
+        self.flush_every = flush_every
         self._handle = self.path.open("w", encoding="utf-8")
         self.written = 0
 
@@ -239,6 +249,8 @@ class JsonlTraceWriter:
             return
         self._handle.write(json.dumps(event.to_dict(), separators=(",", ":")) + "\n")
         self.written += 1
+        if self.flush_every and self.written % self.flush_every == 0:
+            self._handle.flush()
 
     def flush(self) -> None:
         if not self._handle.closed:

@@ -145,20 +145,33 @@ class AntiEntropyProtocol(Protocol):
                 site_id: cluster.sites[site_id].store.snapshot()
                 for site_id in cluster.site_ids
             }
+        profiler = cluster.profiler if cluster.profiler.enabled else None
         for site_id in cluster.site_ids:
             site = cluster.sites[site_id]
             if not site.up:
                 continue
-            partner_id = self.ledger.connect_with_hunting(
-                lambda s: self._choose_up_partner(s), site_id
-            )
+            if profiler is not None:
+                with profiler.phase("partner-selection"):
+                    partner_id = self.ledger.connect_with_hunting(
+                        lambda s: self._choose_up_partner(s), site_id
+                    )
+            else:
+                partner_id = self.ledger.connect_with_hunting(
+                    lambda s: self._choose_up_partner(s), site_id
+                )
             if partner_id is None:
                 self.stats.rejected += 1
                 cluster.count_rejection()
                 continue
             cluster.count_comparison(site_id, partner_id)
             self.stats.exchanges += 1
-            if config.synchronous:
+            if profiler is not None:
+                with profiler.phase("exchange"):
+                    if config.synchronous:
+                        self._exchange_synchronous(site_id, partner_id, snapshots)
+                    else:
+                        self._exchange_live(site_id, partner_id)
+            elif config.synchronous:
                 self._exchange_synchronous(site_id, partner_id, snapshots)
             else:
                 self._exchange_live(site_id, partner_id)
@@ -198,14 +211,14 @@ class AntiEntropyProtocol(Protocol):
             entry_p = snap_p.get(key)
             if mode.pushes and entry_beats(entry_s, entry_p):
                 update = StoreUpdate(key=key, entry=entry_s)
-                result = cluster.apply_at(partner_id, update, via=self)
+                result = cluster.apply_at(partner_id, update, via=self, source=site_id)
                 sent_sp += 1
                 if result.was_news:
                     cluster.count_useful_update_send(site_id, partner_id, 1)
                 self._fire_transfer(site_id, partner_id, update, result)
             elif mode.pulls and entry_beats(entry_p, entry_s):
                 update = StoreUpdate(key=key, entry=entry_p)
-                result = cluster.apply_at(site_id, update, via=self)
+                result = cluster.apply_at(site_id, update, via=self, source=partner_id)
                 sent_ps += 1
                 if result.was_news:
                     cluster.count_useful_update_send(partner_id, site_id, 1)
@@ -227,10 +240,14 @@ class AntiEntropyProtocol(Protocol):
         elif report.checksum_rounds:
             self.stats.checksum_successes += 1
         for update in report.sent_ab:
-            cluster.notify_news(partner_id, update, ApplyResult.APPLIED, via=self)
+            cluster.notify_news(
+                partner_id, update, ApplyResult.APPLIED, via=self, source=site_id
+            )
             self._fire_transfer(site_id, partner_id, update, ApplyResult.APPLIED)
         for update in report.sent_ba:
-            cluster.notify_news(site_id, update, ApplyResult.APPLIED, via=self)
+            cluster.notify_news(
+                site_id, update, ApplyResult.APPLIED, via=self, source=partner_id
+            )
             self._fire_transfer(partner_id, site_id, update, ApplyResult.APPLIED)
         cluster.count_update_sends(site_id, partner_id, len(report.sent_ab))
         cluster.count_update_sends(partner_id, site_id, len(report.sent_ba))

@@ -23,9 +23,9 @@ reports how much data had to cross the wire, which is what Tables 4 and
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterable, List
+from typing import Iterable, List, Tuple
 
-from repro.core.store import ReplicaStore, StoreUpdate
+from repro.core.store import ApplyResult, ReplicaStore, StoreUpdate
 from repro.protocols.base import ExchangeMode, entry_beats
 
 
@@ -50,11 +50,18 @@ class ExchangeReport:
 
 @dataclasses.dataclass(slots=True)
 class SessionReply:
-    """The responder's half of one full-compare conversation."""
+    """The responder's half of one full-compare conversation.
+
+    ``applied_results`` is parallel to ``applied``: the
+    :class:`ApplyResult` each applied update produced, so callers can
+    attribute deliveries (e.g. delivery spans) without re-deriving the
+    merge outcome.
+    """
 
     applied: List[StoreUpdate] = dataclasses.field(default_factory=list)
     send_back: List[StoreUpdate] = dataclasses.field(default_factory=list)
     entries_examined: int = 0
+    applied_results: List[ApplyResult] = dataclasses.field(default_factory=list)
 
 
 class ExchangeSession:
@@ -133,17 +140,28 @@ class ExchangeSession:
                 reply.send_back.append(StoreUpdate(key=key, entry=entry))
         reply.entries_examined = examined
         for update in to_apply:
-            store.apply_entry(update.key, update.entry)
+            result = store.apply_entry(update.key, update.entry)
             reply.applied.append(update)
+            reply.applied_results.append(result)
         return reply
+
+    def absorb_with_results(
+        self, updates: Iterable[StoreUpdate]
+    ) -> List[Tuple[StoreUpdate, ApplyResult]]:
+        """Apply the responder's reply at the initiator.
+
+        Returns every (update, result) pair — including non-news
+        deliveries, which span accounting counts as redundant traffic.
+        """
+        return [(update, self.store.apply_update(update)) for update in updates]
 
     def absorb(self, updates: Iterable[StoreUpdate]) -> List[StoreUpdate]:
         """Apply the responder's reply at the initiator; returns the news."""
-        applied: List[StoreUpdate] = []
-        for update in updates:
-            if self.store.apply_update(update).was_news:
-                applied.append(update)
-        return applied
+        return [
+            update
+            for update, result in self.absorb_with_results(updates)
+            if result.was_news
+        ]
 
 
 def resolve_difference(

@@ -217,7 +217,7 @@ class HotListProtocol(Protocol):
             cluster.count_update_sends(source, target, 1)
             self.stats.updates_shipped += 1
             sent += 1
-            result = cluster.apply_at(target, update, via=self)
+            result = cluster.apply_at(target, update, via=self, source=source)
             if result.was_news:
                 # Useful: hot at both ends, like a rumor.
                 self.stats.useful_updates += 1

@@ -292,7 +292,7 @@ class RumorMongeringProtocol(Protocol):
         update = StoreUpdate(key=key, entry=entry)
         cluster.count_update_sends(source, target, 1)
         self.stats.updates_sent += 1
-        result = cluster.apply_at(target, update, via=self)
+        result = cluster.apply_at(target, update, via=self, source=source)
         if result.was_news:
             self.stats.useful_sends += 1
             cluster.count_useful_update_send(source, target, 1)

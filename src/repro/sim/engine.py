@@ -35,6 +35,11 @@ class Simulator:
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._cancelled: set[int] = set()
         self._processed = 0
+        #: Optional :class:`repro.obs.profiling.Profiler`; when set,
+        #: callback execution is timed under the ``engine`` phase.
+        #: None (not a null profiler) so the hot loop pays one
+        #: attribute load, not a context-manager round trip.
+        self.profiler = None
 
     @property
     def now(self) -> float:
@@ -90,7 +95,11 @@ class Simulator:
                 continue
             self._now = time
             self._processed += 1
-            callback()
+            if self.profiler is not None:
+                with self.profiler.phase("engine"):
+                    callback()
+            else:
+                callback()
             return True
         return False
 
@@ -99,6 +108,7 @@ class Simulator:
         ``max_events`` have executed.  Returns the number executed.
         """
         executed = 0
+        profiler = self.profiler
         while self._heap:
             if max_events is not None and executed >= max_events:
                 break
@@ -112,7 +122,11 @@ class Simulator:
             heapq.heappop(self._heap)
             self._now = time
             self._processed += 1
-            callback()
+            if profiler is not None:
+                with profiler.phase("engine"):
+                    callback()
+            else:
+                callback()
             executed += 1
         if until is not None and self._now < until:
             self._now = until

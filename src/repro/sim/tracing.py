@@ -7,15 +7,22 @@ laid directly against the deterministic ODE trajectory from
 :mod:`repro.analysis.epidemic_theory`.  :class:`NewsLog` records every
 first delivery (who, what, when, how) for debugging and for building
 custom metrics.
+
+Both tracers source their delivery records from the cluster's
+``delivery-span`` event stream (:mod:`repro.obs.spans`) rather than
+keeping private observer bookkeeping — the span stream *is* the
+first-delivery record, so "who knows the key" exists in exactly one
+place.  Consequently both must be attached (``cluster.add_protocol``)
+before the updates they observe are injected.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Hashable, List, Optional
+from typing import Hashable, List, Optional, Set
 
-from repro.core.store import ApplyResult, StoreUpdate
-from repro.obs.events import EventBus, EventKind
+from repro.core.store import ApplyResult
+from repro.obs.events import Event, EventBus, EventKind
 from repro.protocols.base import Protocol
 from repro.protocols.rumor import RumorMongeringProtocol
 
@@ -50,9 +57,10 @@ class EpidemicTracer(Protocol):
     """Samples the S/I/R census each cycle for one key.
 
     Requires the rumor protocol whose hot list defines "infective";
-    sites knowing the value but not hot are "removed".  Attach *after*
-    the protocols it observes so each sample reflects the end of the
-    cycle.
+    sites knowing the value but not hot are "removed".  "Knows" is
+    sourced from the first-delivery span stream, so attach the tracer
+    (``add_protocol``) *before* the key is injected, and after the
+    protocols it observes so each sample reflects the end of the cycle.
 
     With ``bus`` (an :class:`repro.obs.events.EventBus`, defaulting to
     the cluster's own), every sample is also emitted as a ``census``
@@ -73,6 +81,27 @@ class EpidemicTracer(Protocol):
         self.key = key
         self.bus = bus
         self.history: List[Census] = []
+        self._key_str = str(key)
+        self._known: Set[int] = set()
+
+    def attach(self, cluster) -> None:
+        super().attach(cluster)
+        cluster.bus.add_sink(self._on_event)
+
+    def _on_event(self, event: Event) -> None:
+        if event.kind is not EventKind.DELIVERY_SPAN:
+            return
+        payload = event.payload
+        if payload.get("first") and payload.get("key") == self._key_str:
+            self._known.add(event.node)
+
+    def on_site_added(self, site_id: int) -> None:
+        # A (re)joining site starts with an empty store; any stale
+        # knowledge recorded under its id belongs to a previous life.
+        self._known.discard(site_id)
+
+    def on_site_removed(self, site_id: int) -> None:
+        self._known.discard(site_id)
 
     def run_cycle(self, cycle: int) -> None:
         census = self.sample(cycle)
@@ -89,10 +118,10 @@ class EpidemicTracer(Protocol):
 
     def sample(self, cycle: Optional[int] = None) -> Census:
         cluster = self.cluster
+        known = self._known
         susceptible = infective = removed = 0
         for site_id in cluster.site_ids:
-            knows = cluster.sites[site_id].store.entry(self.key) is not None
-            if not knows:
+            if site_id not in known:
                 susceptible += 1
             elif self.rumor.is_infective(site_id, self.key):
                 infective += 1
@@ -124,12 +153,18 @@ class EpidemicTracer(Protocol):
 class NewsEvent:
     cycle: int
     site: int
-    key: Hashable
+    key: str
     result: ApplyResult
 
 
 class NewsLog(Protocol):
-    """Records every news delivery cluster-wide (any protocol)."""
+    """Records every news delivery cluster-wide (any protocol).
+
+    A thin view over the ``delivery-span`` stream: one entry per
+    first-delivery span with a delivering source (injections, having no
+    source site, are not deliveries).  Keys arrive stringified, exactly
+    as they appear in the trace schema.
+    """
 
     name = "news-log"
 
@@ -141,28 +176,35 @@ class NewsLog(Protocol):
 
     def attach(self, cluster) -> None:
         super().attach(cluster)
-        cluster.add_observer(self._record)
+        cluster.bus.add_sink(self._on_event)
 
-    def _record(self, site_id: int, update: StoreUpdate, result: ApplyResult) -> None:
+    def _on_event(self, event: Event) -> None:
+        if event.kind is not EventKind.DELIVERY_SPAN:
+            return
+        payload = event.payload
+        if not payload.get("first") or payload.get("src") is None:
+            return
         if self.capacity is not None and len(self.events) >= self.capacity:
             self.dropped += 1
             return
         self.events.append(
             NewsEvent(
-                cycle=self.cluster.cycle,
-                site=site_id,
-                key=update.key,
-                result=result,
+                cycle=int(event.time),
+                site=event.node,
+                key=payload["key"],
+                result=ApplyResult(payload["result"]),
             )
         )
 
     def events_for(self, key: Hashable) -> List[NewsEvent]:
-        return [event for event in self.events if event.key == key]
+        wanted = str(key)
+        return [event for event in self.events if event.key == wanted]
 
     def first_receipts(self, key: Hashable) -> dict:
         """site -> first cycle it learned ``key``."""
+        wanted = str(key)
         receipts: dict = {}
         for event in self.events:
-            if event.key == key and event.site not in receipts:
+            if event.key == wanted and event.site not in receipts:
                 receipts[event.site] = event.cycle
         return receipts

@@ -91,3 +91,49 @@ class TestRemainingCommands:
         assert main(["hierarchy", "--runs", "1"]) == 0
         out = capsys.readouterr().out
         assert "hierarchy" in out
+
+
+class TestTraceAnalyze:
+    def trace_file(self, tmp_path):
+        from repro.cluster.cluster import Cluster
+        from repro.obs.events import EventKind, HARNESS_NODE, JsonlTraceWriter
+        from repro.protocols.direct_mail import DirectMailProtocol
+
+        path = tmp_path / "run.jsonl"
+        cluster = Cluster(n=4, seed=0)
+        cluster.add_protocol(DirectMailProtocol())
+        with JsonlTraceWriter(path) as writer:
+            cluster.bus.add_sink(writer)
+            cluster.bus.emit(EventKind.RUN_STARTED, node=HARNESS_NODE, n=4, key="k")
+            cluster.inject_update(0, "k", "v")
+            cluster.run_cycle()
+        return path
+
+    def test_renders_the_tree(self, tmp_path, capsys):
+        path = self.trace_file(tmp_path)
+        assert main(["trace", "analyze", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "trace analysis" in out
+        assert "[complete]" in out
+        assert "anomalies: none" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        import json
+
+        path = self.trace_file(tmp_path)
+        assert main(["trace", "analyze", str(path), "--json"]) == 0
+        blob = json.loads(capsys.readouterr().out)
+        assert blob["n"] == 4
+        assert len(blob["traces"]) == 1
+        assert blob["traces"][0]["infected"] == [0, 1, 2, 3]
+
+    def test_usage_errors(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["trace"])
+        with pytest.raises(SystemExit):
+            main(["trace", "summarize", "x.jsonl"])
+        with pytest.raises(SystemExit):
+            main(["trace", "analyze", str(tmp_path / "missing.jsonl")])
+
+    def test_stray_arguments_on_other_commands_rejected(self, capsys):
+        assert main(["table1", "analyze"]) == 2

@@ -260,3 +260,55 @@ class TestNodeConfig:
                     await a.start()
 
         asyncio.run(scenario())
+
+
+class TestShutdown:
+    def test_stop_survives_a_swallowed_cancellation(self):
+        """On 3.11 a wait_for that completes in the same event-loop step
+        as a cancel request eats the CancelledError (bpo-42130), leaving
+        the gossip loop running with the cancel consumed.  ``stop()``
+        must keep cancelling until the task actually dies, never hang."""
+
+        async def scenario():
+            async with cluster(2) as (a, b):
+                swallowed = asyncio.Event()
+
+                async def stubborn():
+                    try:
+                        await asyncio.Event().wait()
+                    except asyncio.CancelledError:
+                        swallowed.set()  # simulate the lost cancellation
+                    await asyncio.Event().wait()
+
+                a._tasks.append(asyncio.create_task(stubborn()))
+                await asyncio.wait_for(a.stop(), timeout=5.0)
+                assert swallowed.is_set()
+                assert all(task.done() for task in a._tasks) or a._tasks == []
+
+        asyncio.run(scenario())
+
+    def test_periodic_honors_a_consumed_cancel_request(self):
+        """The loop re-checks ``task.cancelling()`` each iteration, so a
+        cancellation swallowed inside one step ends the loop at the next."""
+
+        async def scenario():
+            async with cluster(2) as (a, b):
+                entered = asyncio.Event()
+
+                async def step():
+                    entered.set()
+                    try:
+                        await asyncio.Event().wait()  # cancel lands here
+                    except asyncio.CancelledError:
+                        pass  # the bpo-42130 stand-in: the error is eaten
+
+                task = asyncio.create_task(a._periodic(0.001, step))
+                await asyncio.wait_for(entered.wait(), timeout=5.0)
+                task.cancel()
+                # The step swallowed the error, yet the loop must still
+                # exit — the guard sees cancelling() > 0 next iteration.
+                with contextlib.suppress(asyncio.CancelledError):
+                    await asyncio.wait_for(task, timeout=5.0)
+                assert task.done()
+
+        asyncio.run(scenario())

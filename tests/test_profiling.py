@@ -1,0 +1,106 @@
+"""Phase timers: the Profiler, its null variant, and runtime wiring."""
+
+from repro.cluster.cluster import Cluster
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiling import NULL_PROFILER, PHASES, Profiler
+from repro.protocols.anti_entropy import AntiEntropyConfig, AntiEntropyProtocol
+from repro.protocols.base import ExchangeMode
+
+
+class TestProfiler:
+    def test_phase_accumulates_seconds_and_calls(self):
+        profiler = Profiler()
+        for __ in range(3):
+            with profiler.phase("merge"):
+                pass
+        snap = profiler.snapshot()
+        assert snap["merge"]["calls"] == 3
+        assert snap["merge"]["seconds"] >= 0.0
+
+    def test_record_is_additive(self):
+        profiler = Profiler()
+        profiler.record("exchange", 0.25)
+        profiler.record("exchange", 0.5)
+        snap = profiler.snapshot()
+        assert snap["exchange"]["seconds"] == 0.75
+        assert snap["exchange"]["calls"] == 2
+
+    def test_exports_through_the_registry(self):
+        registry = MetricsRegistry()
+        profiler = Profiler(registry)
+        with profiler.phase("partner-selection"):
+            pass
+        text = registry.render_prometheus()
+        assert "repro_phase_seconds_total" in text
+        assert 'phase="partner-selection"' in text
+        assert "repro_phase_calls_total" in text
+        snapshot = registry.snapshot()
+        assert snapshot["repro_phase_seconds_total"]["type"] == "counter"
+
+    def test_null_profiler_records_nothing(self):
+        assert NULL_PROFILER.enabled is False
+        with NULL_PROFILER.phase("merge"):
+            pass
+        NULL_PROFILER.record("merge", 1.0)
+        assert NULL_PROFILER.snapshot() == {}
+
+    def test_null_phase_is_shared(self):
+        # The hot loop hands out one no-op manager, not an allocation.
+        assert NULL_PROFILER.phase("a") is NULL_PROFILER.phase("b")
+
+
+class TestClusterProfiling:
+    def epidemic(self, cluster):
+        cluster.add_protocol(
+            AntiEntropyProtocol(config=AntiEntropyConfig(mode=ExchangeMode.PUSH_PULL))
+        )
+        cluster.inject_update(0, "k", "v", track=True)
+        metrics = cluster.metrics
+        cluster.run_until(lambda: metrics.infected == cluster.n, max_cycles=60)
+
+    def test_disabled_by_default(self):
+        cluster = Cluster(n=8, seed=0)
+        assert cluster.profiler is NULL_PROFILER
+        self.epidemic(cluster)
+        assert cluster.profiler.snapshot() == {}
+
+    def test_enable_profiling_times_the_phases(self):
+        cluster = Cluster(n=8, seed=0)
+        profiler = cluster.enable_profiling()
+        assert profiler is cluster.profiler
+        assert cluster.simulator.profiler is profiler
+        self.epidemic(cluster)
+        snap = profiler.snapshot()
+        # Anti-entropy rounds exercise selection + exchange every cycle.
+        for phase in ("partner-selection", "exchange"):
+            assert snap[phase]["calls"] > 0, phase
+            assert snap[phase]["seconds"] >= 0.0
+        assert set(snap) <= set(PHASES)
+
+    def test_engine_phase_times_scheduled_events(self):
+        from repro.protocols.direct_mail import DirectMailProtocol
+
+        cluster = Cluster(n=6, seed=2)
+        profiler = cluster.enable_profiling()
+        cluster.add_protocol(DirectMailProtocol())
+        cluster.inject_update(0, "k", "v")
+        cluster.run_cycles(2)  # mail deliveries are simulator events
+        assert profiler.snapshot()["engine"]["calls"] > 0
+
+    def test_emit_phase_needs_a_bus_consumer(self):
+        from repro.obs.events import RingBufferSink
+
+        cluster = Cluster(n=4, seed=1)
+        profiler = cluster.enable_profiling()
+        cluster.bus.add_sink(RingBufferSink())
+        self.epidemic(cluster)
+        assert profiler.snapshot()["emit"]["calls"] > 0
+
+    def test_profiling_does_not_change_results(self):
+        plain = Cluster(n=16, seed=5)
+        self.epidemic(plain)
+        profiled = Cluster(n=16, seed=5)
+        profiled.enable_profiling()
+        self.epidemic(profiled)
+        assert plain.metrics.t_last == profiled.metrics.t_last
+        assert plain.metrics.receipt_times == profiled.metrics.receipt_times

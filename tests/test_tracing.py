@@ -137,6 +137,29 @@ class TestNewsLog:
         assert all(e.key == "a" for e in log.events_for("a"))
         assert len(log.events_for("a")) == 4
 
+    def test_sees_anti_entropy_deliveries(self):
+        """The log is a span-stream view, so exchange-mediated first
+        deliveries land in it exactly like targeted mail does."""
+        from repro.protocols.anti_entropy import (
+            AntiEntropyConfig,
+            AntiEntropyProtocol,
+        )
+
+        cluster = Cluster(n=12, seed=8)
+        log = NewsLog()
+        cluster.add_protocol(log)
+        cluster.add_protocol(
+            AntiEntropyProtocol(config=AntiEntropyConfig(mode=ExchangeMode.PUSH_PULL))
+        )
+        cluster.inject_update(0, "k", "v", track=True)
+        metrics = cluster.metrics
+        cluster.run_until(lambda: metrics.infected == 12, max_cycles=60)
+        receipts = log.first_receipts("k")
+        assert set(receipts) == set(range(1, 12))  # injection is not a delivery
+        assert receipts == {
+            site: int(t) for site, t in metrics.receipt_times.items() if site != 0
+        }
+
     def test_capacity_bounds_memory(self):
         cluster = Cluster(n=50, seed=6)
         log = NewsLog(capacity=10)
