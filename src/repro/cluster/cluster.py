@@ -24,7 +24,7 @@ from repro.core.timestamps import SimClock
 from repro.obs.events import EventBus, EventKind
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profiling import NULL_PROFILER, Profiler
-from repro.obs.spans import emit_delivery_span, trace_id_of
+from repro.obs.spans import TraceHopLru, emit_delivery_span, trace_id_of
 from repro.sim.engine import Simulator
 from repro.sim.metrics import EpidemicMetrics, LinkTraffic
 from repro.sim.rng import RngRegistry
@@ -97,7 +97,9 @@ class Cluster:
         self.profiler: Profiler = NULL_PROFILER
         # trace id -> {site -> hop count}, maintained only while the bus
         # has sinks; lets delivery spans carry distance-from-origin.
-        self._span_hops: Dict[str, Dict[int, int]] = {}
+        # LRU-bounded so long workloads don't accumulate one entry per
+        # update ever injected.
+        self._span_hops = TraceHopLru()
 
     # ------------------------------------------------------------------
     # Composition

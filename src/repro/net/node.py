@@ -46,7 +46,12 @@ from repro.net.peer import InFlightBudget, Peer, PeerError, RetryPolicy
 from repro.obs.events import EventBus, EventKind
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profiling import Profiler
-from repro.obs.spans import SpanContext, emit_delivery_span, trace_id_of
+from repro.obs.spans import (
+    SpanContext,
+    TraceHopLru,
+    emit_delivery_span,
+    trace_id_of,
+)
 from repro.net.wire import (
     BASE_VERSION,
     MAX_FRAME_BYTES,
@@ -256,7 +261,9 @@ class GossipNode:
         self.profiler = Profiler(registry=self.stats.registry)
         # trace id -> this node's hop distance from the update's origin,
         # forwarded as the trace context of outbound update lists.
-        self._span_hops: Dict[str, int] = {}
+        # LRU-bounded: hop data only matters while a trace circulates,
+        # and an unbounded map would grow with every update ever seen.
+        self._span_hops = TraceHopLru()
         # peer id -> highest wire version that peer has advertised.
         # Until a peer advertises v2 it is assumed to be a v1 node and
         # gets v1 frames with no trace-context fields.
@@ -326,10 +333,13 @@ class GossipNode:
     async def _periodic(self, interval: float, step) -> None:
         while True:
             task = asyncio.current_task()
-            if task is not None and task.cancelling():
-                # A wait_for inside the step can swallow a pending
-                # cancellation (bpo-42130); the request stays visible in
-                # cancelling() because nothing uncancels, so honor it.
+            # A wait_for inside the step can swallow a pending
+            # cancellation (bpo-42130); the request stays visible in
+            # cancelling() because nothing uncancels, so honor it.
+            # Task.cancelling() is 3.11+ only — on 3.10 the re-cancel
+            # loop in stop() is the sole (still sufficient) backstop.
+            cancelling = getattr(task, "cancelling", None)
+            if cancelling is not None and cancelling():
                 raise asyncio.CancelledError
             # Jitter desynchronizes the loops across nodes, like the
             # independent per-site timers of the paper's model.
@@ -703,7 +713,9 @@ class GossipNode:
             # The offer is a digest only: never apply, only serve back.
             mode = ExchangeMode.PULL
         ctxs = payload_span_contexts(message.payload, len(offered))
-        ctx_by_key = {u.key: ctx for u, ctx in zip(offered, ctxs)}
+        # Keyed by trace id, not bare key: a frame carrying two versions
+        # of one key must not hand version A's context to version B.
+        ctx_by_trace = {trace_id_of(u): ctx for u, ctx in zip(offered, ctxs)}
         session = ExchangeSession(self.store, mode)
         with self.profiler.phase("merge"):
             reply = session.respond(offered)
@@ -711,7 +723,7 @@ class GossipNode:
         self._record_deliveries(
             list(zip(reply.applied, reply.applied_results)),
             src=message.sender,
-            ctxs=[ctx_by_key.get(u.key) for u in reply.applied],
+            ctxs=[ctx_by_trace.get(trace_id_of(u)) for u in reply.applied],
             now=now,
         )
         self._note_news(reply.applied, now=now)

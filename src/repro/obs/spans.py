@@ -31,6 +31,7 @@ it.  Emission itself is a near-no-op while the bus has no sinks.
 from __future__ import annotations
 
 import dataclasses
+from collections import OrderedDict
 from typing import Any, Dict, Optional
 
 from repro.core.store import ApplyResult, StoreUpdate
@@ -51,6 +52,60 @@ def trace_id_of(update: StoreUpdate) -> str:
     """
     stamp = update.entry.timestamp
     return f"{update.key}@{stamp.time:g}#{stamp.site}.{stamp.sequence}"
+
+
+#: Default bound for :class:`TraceHopLru` — comfortably above the number
+#: of traces simultaneously inside any hot list or tau window, tiny
+#: against a long-running node's total update history.
+TRACE_HOP_CAP = 4096
+
+
+class TraceHopLru:
+    """A bounded ``trace id -> hop bookkeeping`` map with LRU eviction.
+
+    Both runtimes remember their distance from each trace's origin so
+    outbound spans can carry ``hop``; without a bound that memory grows
+    with every update the replica has ever learned.  Hop data is only
+    useful while a trace is still circulating (hot rumors, the tau
+    window), so least-recently-used eviction loses nothing but ancient
+    traces — a re-learned old trace merely reports ``hop=None``, which
+    the span schema already allows.
+
+    Deliberately exposes just the dict subset the runtimes use
+    (``get`` / ``setdefault``); both touch the entry, keeping live
+    traces resident.
+    """
+
+    __slots__ = ("_entries", "_maxsize")
+
+    def __init__(self, maxsize: int = TRACE_HOP_CAP):
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self._maxsize = maxsize
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+
+    def get(self, trace: str, default: Any = None) -> Any:
+        try:
+            value = self._entries[trace]
+        except KeyError:
+            return default
+        self._entries.move_to_end(trace)
+        return value
+
+    def setdefault(self, trace: str, default: Any) -> Any:
+        if trace in self._entries:
+            self._entries.move_to_end(trace)
+            return self._entries[trace]
+        self._entries[trace] = default
+        while len(self._entries) > self._maxsize:
+            self._entries.popitem(last=False)
+        return default
+
+    def __contains__(self, trace: str) -> bool:
+        return trace in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
 
 @dataclasses.dataclass(frozen=True, slots=True)

@@ -12,10 +12,13 @@ from typing import List
 
 import pytest
 
+from repro.core.serialize import encode_updates
 from repro.net.membership import Membership
 from repro.net.node import GossipNode, NodeConfig
 from repro.net.peer import Peer, RetryPolicy
 from repro.net.wire import Message, MessageType
+from repro.obs.events import EventKind, RingBufferSink
+from repro.obs.spans import SpanContext, trace_id_of
 from repro.protocols.base import ExchangeMode
 
 #: Loops effectively disabled; fast failure detection.
@@ -312,3 +315,81 @@ class TestShutdown:
                 assert task.done()
 
         asyncio.run(scenario())
+
+    def test_periodic_runs_on_py310_task_api(self, monkeypatch):
+        """``Task.cancelling()`` is 3.11+ only.  On 3.10 the loops must
+        still gossip — the old unguarded call raised AttributeError on
+        the first iteration, and ``stop()`` retrieved (and thereby hid)
+        the exception, so nodes silently never ran a round."""
+
+        class Py310TaskProxy:
+            """The 3.10 Task surface: everything but ``cancelling()``."""
+
+            def __init__(self, task):
+                self._task = task
+
+            def __getattr__(self, name):
+                if name == "cancelling":
+                    raise AttributeError(name)
+                return getattr(self._task, name)
+
+        async def scenario():
+            async with cluster(2) as (a, b):
+                real_current_task = asyncio.current_task
+
+                def py310_current_task():
+                    task = real_current_task()
+                    return None if task is None else Py310TaskProxy(task)
+
+                monkeypatch.setattr(
+                    "repro.net.node.asyncio.current_task", py310_current_task
+                )
+                steps = 0
+                stepped = asyncio.Event()
+
+                async def step():
+                    nonlocal steps
+                    steps += 1
+                    stepped.set()
+
+                task = asyncio.create_task(a._periodic(0.001, step))
+                await asyncio.wait_for(stepped.wait(), timeout=5.0)
+                task.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await asyncio.wait_for(task, timeout=5.0)
+                return steps, task.cancelled()
+
+        steps, cancelled = asyncio.run(scenario())
+        assert steps >= 1
+        assert cancelled  # ended by the cancel, not a swallowed error
+
+
+class TestSpanContextMapping:
+    def test_duplicate_key_frame_maps_contexts_by_trace(self):
+        """One PUSH frame may carry two versions of the same key; each
+        applied version must get its own trace context, not whichever
+        context last claimed the bare key."""
+
+        async def scenario():
+            async with cluster(2) as (a, b):
+                u1 = a.store.update("k", 1)
+                u2 = a.store.update("k", 2)
+                sink = b.bus.add_sink(RingBufferSink())
+                payload = {
+                    "mode": ExchangeMode.PUSH.value,
+                    "updates": encode_updates([u1, u2]),
+                    "spans": [
+                        SpanContext(trace=trace_id_of(u1), hop=5).to_wire(),
+                        SpanContext(trace=trace_id_of(u2), hop=0).to_wire(),
+                    ],
+                }
+                b._handle(Message(MessageType.PUSH, sender=0, payload=payload))
+                hops = {
+                    event.payload["trace"]: event.payload["hop"]
+                    for event in sink.of_kind(EventKind.DELIVERY_SPAN)
+                }
+                return trace_id_of(u1), trace_id_of(u2), hops
+
+        t1, t2, hops = asyncio.run(scenario())
+        assert hops[t1] == 6  # u1's own context (5) + 1, never u2's
+        assert hops[t2] == 1

@@ -15,6 +15,7 @@ from repro.obs.events import (
 from repro.obs.spans import (
     SPAN_FIELDS,
     SpanContext,
+    TraceHopLru,
     span_of_event,
     trace_id_of,
 )
@@ -72,6 +73,36 @@ class TestSpanContext:
     def test_bad_sent_at_degrades_to_none(self, sent_at):
         ctx = SpanContext.from_wire({"trace": "t", "hop": 2, "sent_at": sent_at})
         assert ctx == SpanContext(trace="t", hop=2, sent_at=None)
+
+
+class TestTraceHopLru:
+    def test_bounded_with_lru_eviction(self):
+        lru = TraceHopLru(maxsize=2)
+        lru.setdefault("a", 1)
+        lru.setdefault("b", 2)
+        assert lru.get("a") == 1  # touch: "a" becomes most recent
+        lru.setdefault("c", 3)  # over the bound: evicts "b", not "a"
+        assert len(lru) == 2
+        assert "b" not in lru and lru.get("b") is None
+        assert lru.get("a") == 1 and lru.get("c") == 3
+
+    def test_setdefault_keeps_existing_and_touches(self):
+        lru = TraceHopLru(maxsize=2)
+        assert lru.setdefault("a", 1) == 1
+        assert lru.setdefault("a", 9) == 1  # existing entry wins…
+        lru.setdefault("b", 2)
+        lru.setdefault("a", 9)  # …and the lookup counts as a touch
+        lru.setdefault("c", 3)
+        assert "a" in lru and "b" not in lru
+
+    def test_missing_trace_degrades_to_default(self):
+        lru = TraceHopLru(maxsize=1)
+        assert lru.get("never-seen") is None
+        assert lru.get("never-seen", 7) == 7
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            TraceHopLru(maxsize=0)
 
 
 def spans_of(sink):
@@ -132,7 +163,7 @@ class TestSimulatorSpans:
         cluster.add_protocol(DirectMailProtocol())
         cluster.inject_update(0, "k", "v")
         cluster.run_cycle()
-        assert cluster._span_hops == {}
+        assert len(cluster._span_hops) == 0
 
 
 class TestJsonlWriterFlushing:
