@@ -459,7 +459,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="anti-entropy exchange mode (default push-pull)",
     )
     live.add_argument(
-        "--strategy", choices=["full", "checksum"], default="full",
+        "--strategy", choices=["full", "checksum", "hierarchical"], default="full",
         help="difference-resolution strategy (default full)",
     )
     live.add_argument(

@@ -11,6 +11,10 @@ Checked invariants:
 
 * **checksum** — every store's incremental checksum equals a fresh
   recomputation;
+* **checksum tree** — every hash bucket's incremental checksum equals
+  a fresh recomputation of that bucket's contents, every bucket's keys
+  actually hash to it, and every internal tree node is the XOR of its
+  children (so the root the exchanges compare is trustworthy);
 * **index** — every store's timestamp index lists exactly its entries;
 * **certificate sanity** — activation timestamps never precede
   ordinary timestamps; dormant tables never shadow an active entry
@@ -68,6 +72,7 @@ class InvariantChecker(Protocol):
             raise InvariantViolation(
                 f"site {site_id}: incremental checksum diverged from content"
             )
+        self._check_checksum_tree(site_id, store)
         indexed = {u.key: u.entry.timestamp for u in store.updates_newest_first()}
         actual = {key: entry.timestamp for key, entry in store.entries()}
         if indexed != actual:
@@ -94,6 +99,46 @@ class InvariantChecker(Protocol):
                         f"site {site_id} key {key!r}: live entry older than "
                         f"its dormant certificate (missed cancellation)"
                     )
+
+    def _check_checksum_tree(self, site_id: int, store) -> None:
+        """Per-bucket and tree-structure half of the checksum invariant.
+
+        The hierarchical exchange trusts three things: each leaf equals
+        its bucket's content checksum, each key sits in the bucket its
+        canonical digest names, and each internal node is the XOR of
+        its children.  Any breach would let a drill-down prune a
+        subtree that actually differs, silently losing convergence.
+        """
+        tree = store.checksum_tree
+        seen = 0
+        for bucket in tree.nonzero_buckets():
+            if store.bucket_checksum(bucket) != store.recompute_bucket_checksum(bucket):
+                raise InvariantViolation(
+                    f"site {site_id} bucket {bucket}: leaf checksum diverged "
+                    f"from bucket content"
+                )
+            for key, _entry in store.bucket_entries(bucket):
+                seen += 1
+                if store.bucket_of(key) != bucket:
+                    raise InvariantViolation(
+                        f"site {site_id} key {key!r}: filed in bucket {bucket}, "
+                        f"hashes to {store.bucket_of(key)}"
+                    )
+        # A bucket whose entries' digests XOR to zero is astronomically
+        # unlikely but legal; count coverage instead of requiring every
+        # occupied bucket to look nonzero.
+        if seen > len(store):
+            raise InvariantViolation(
+                f"site {site_id}: buckets list {seen} entries, store holds "
+                f"{len(store)}"
+            )
+        for node_id in range(1, tree.buckets):
+            left, right = tree.children(node_id)
+            if tree.node(node_id) != tree.node(left) ^ tree.node(right):
+                raise InvariantViolation(
+                    f"site {site_id} tree node {node_id}: not the XOR of its "
+                    f"children"
+                )
 
     def _check_rumors(self) -> None:
         for protocol in self.cluster.protocols:

@@ -10,7 +10,13 @@ certificates with activation timestamps).
 
 from repro.core.timestamps import Timestamp, Clock, SequenceClock, SimClock
 from repro.core.items import NIL, VersionedValue, DeathCertificate
-from repro.core.checksum import DatabaseChecksum, entry_digest
+from repro.core.checksum import (
+    ChecksumTree,
+    DatabaseChecksum,
+    encode_key,
+    entry_digest,
+    key_digest,
+)
 from repro.core.store import ReplicaStore, StoreUpdate
 
 __all__ = [
@@ -21,8 +27,11 @@ __all__ = [
     "NIL",
     "VersionedValue",
     "DeathCertificate",
+    "ChecksumTree",
     "DatabaseChecksum",
+    "encode_key",
     "entry_digest",
+    "key_digest",
     "ReplicaStore",
     "StoreUpdate",
 ]

@@ -16,24 +16,92 @@ order in which they were added.  Per-entry digests are 128-bit BLAKE2b
 hashes of a canonical ``(key, entry)`` encoding, making accidental
 collisions (two different databases with equal checksums) vanishingly
 unlikely for the database sizes at hand.
+
+Keys enter the digest through :func:`encode_key`, a canonical byte
+encoding shared with the checkpoint/wire codec (re-exported by
+:mod:`repro.core.serialize`).  Hashing ``repr(key)`` — the historical
+behavior — was wrong: any key type without a content-determined repr
+(the default ``<object at 0x...>`` repr embeds a memory address) gave
+two replicas permanently disagreeing checksums for identical data,
+forcing a full database comparison on every anti-entropy exchange.
+
+For stores beyond a few thousand entries one checksum for the whole
+database is too coarse: a single differing key forces a full comparison.
+:class:`ChecksumTree` partitions the keyspace into ``2**bucket_bits``
+hash buckets (by the low bits of the canonical key digest) and folds the
+per-bucket checksums up a binary Merkle-style tree, so two replicas can
+compare the root, recurse only into differing subtrees, and identify the
+exact buckets that differ in ``O(dirty buckets · log buckets)`` checksum
+comparisons — never touching agreeing entries.
 """
 
 from __future__ import annotations
 
 import hashlib
-from typing import Hashable, Iterable, Tuple
+import json
+from typing import Hashable, Iterable, Iterator, List, Tuple
 
 DIGEST_BITS = 128
 _DIGEST_BYTES = DIGEST_BITS // 8
 
 
-def entry_digest(key: Hashable, encoded_entry: bytes) -> int:
-    """128-bit digest of one ``(key, entry)`` pair."""
+def encode_key(key: Hashable) -> bytes:
+    """Canonical byte encoding of a database key.
+
+    Content-determined: two processes encoding the same logical key get
+    the same bytes, regardless of memory layout, hash randomization, or
+    interpreter version.  Supports the JSON-compatible key types that can
+    cross the wire — ``str``, ``int``, ``float``, ``bool`` — plus tuples
+    of those (tuples encode as JSON arrays; lists are unhashable, so the
+    encoding stays injective over valid keys).
+
+    Raises :class:`ValueError` for keys with no canonical encoding
+    (e.g. arbitrary objects, whose default repr embeds ``id()``).
+    """
+    try:
+        return json.dumps(
+            key, separators=(",", ":"), sort_keys=True, ensure_ascii=False
+        ).encode("utf-8")
+    except (TypeError, ValueError) as error:
+        raise ValueError(
+            f"key {key!r} has no canonical encoding "
+            f"(use str/int/float/bool keys, or tuples of those): {error}"
+        ) from None
+
+
+def key_digest(key: Hashable) -> int:
+    """128-bit content-determined digest of a key alone.
+
+    Used both as the fixed-width key prefix inside :func:`entry_digest`
+    and — via its low bits — as the key's bucket assignment in
+    :class:`ChecksumTree`.
+    """
+    h = hashlib.blake2b(encode_key(key), digest_size=_DIGEST_BYTES)
+    return int.from_bytes(h.digest(), "big")
+
+
+def entry_digest_with(kd: int, encoded_entry: bytes) -> int:
+    """128-bit digest of one entry given a precomputed :func:`key_digest`.
+
+    The store's hot path computes the key digest once per mutation (it
+    also needs it for bucket assignment) and folds both entry digests of
+    a replace from it.
+    """
     h = hashlib.blake2b(digest_size=_DIGEST_BYTES)
-    h.update(repr(key).encode("utf-8"))
+    h.update(kd.to_bytes(_DIGEST_BYTES, "big"))
     h.update(b"\x00")
     h.update(encoded_entry)
     return int.from_bytes(h.digest(), "big")
+
+
+def entry_digest(key: Hashable, encoded_entry: bytes) -> int:
+    """128-bit digest of one ``(key, entry)`` pair.
+
+    The key participates through its fixed-width :func:`key_digest`, so
+    the key/content boundary is unambiguous by construction and the
+    digest is content-determined for every supported key type.
+    """
+    return entry_digest_with(key_digest(key), encoded_entry)
 
 
 class DatabaseChecksum:
@@ -85,3 +153,123 @@ class DatabaseChecksum:
 
     def __repr__(self) -> str:
         return f"DatabaseChecksum({self._value:#034x})"
+
+
+class ChecksumTree:
+    """A Merkle-style tree of per-bucket XOR checksums.
+
+    Laid out as a flat segment tree: node 1 is the root, node ``i`` has
+    children ``2i`` and ``2i+1``, and the ``2**bucket_bits`` leaves sit
+    at indices ``[buckets, 2*buckets)``.  Because bucket checksums are
+    XORs of entry digests and XOR is associative, every internal node is
+    simply the XOR of its subtree's leaves — so folding an entry delta
+    into one bucket updates the whole path to the root with
+    ``bucket_bits + 1`` XORs, and the root equals the classic
+    whole-database checksum exactly.
+
+    Two replicas with equal ``bucket_bits`` locate their differing
+    buckets by comparing roots and recursing only into differing
+    children (:meth:`diff_buckets`); the wire protocol does the same
+    drill-down one frontier of nodes per round trip.
+    """
+
+    __slots__ = ("bucket_bits", "buckets", "_nodes")
+
+    def __init__(self, bucket_bits: int = 6):
+        if bucket_bits < 0:
+            raise ValueError("bucket_bits must be >= 0")
+        self.bucket_bits = bucket_bits
+        self.buckets = 1 << bucket_bits
+        self._nodes: List[int] = [0] * (2 * self.buckets)
+
+    # -- addressing ----------------------------------------------------
+
+    def bucket_of(self, kd: int) -> int:
+        """The bucket a key lands in, from its :func:`key_digest`."""
+        return kd & (self.buckets - 1)
+
+    def is_leaf(self, node_id: int) -> bool:
+        return node_id >= self.buckets
+
+    def bucket_of_leaf(self, node_id: int) -> int:
+        return node_id - self.buckets
+
+    def children(self, node_id: int) -> Tuple[int, int]:
+        return 2 * node_id, 2 * node_id + 1
+
+    def valid_node(self, node_id: int) -> bool:
+        return 1 <= node_id < 2 * self.buckets
+
+    # -- values --------------------------------------------------------
+
+    @property
+    def root(self) -> int:
+        """The whole-database checksum (XOR over every bucket)."""
+        return self._nodes[1]
+
+    def node(self, node_id: int) -> int:
+        return self._nodes[node_id]
+
+    def bucket_value(self, bucket: int) -> int:
+        return self._nodes[self.buckets + bucket]
+
+    def apply(self, bucket: int, delta: int) -> None:
+        """XOR ``delta`` into one bucket and every ancestor (O(log B))."""
+        if not delta:
+            return
+        i = self.buckets + bucket
+        nodes = self._nodes
+        while i:
+            nodes[i] ^= delta
+            i >>= 1
+
+    # -- comparison ----------------------------------------------------
+
+    def diff_buckets(self, other: "ChecksumTree") -> Tuple[List[int], int]:
+        """Buckets whose checksums differ between the two trees.
+
+        Returns ``(dirty_buckets, comparisons)`` where ``comparisons``
+        counts node-pair checksum comparisons — the drill-down work two
+        replicas would exchange.  Equal subtrees are pruned at their
+        highest agreeing node, so the cost is
+        ``O(dirty · bucket_bits)`` rather than ``O(buckets)``.
+        """
+        if self.buckets != other.buckets:
+            raise ValueError(
+                f"cannot diff trees with {self.buckets} vs {other.buckets} buckets"
+            )
+        dirty: List[int] = []
+        comparisons = 0
+        stack = [1]
+        mine, theirs = self._nodes, other._nodes
+        while stack:
+            node_id = stack.pop()
+            comparisons += 1
+            if mine[node_id] == theirs[node_id]:
+                continue
+            if node_id >= self.buckets:
+                dirty.append(node_id - self.buckets)
+            else:
+                stack.append(2 * node_id + 1)
+                stack.append(2 * node_id)
+        return sorted(dirty), comparisons
+
+    def nonzero_buckets(self) -> Iterator[int]:
+        """Buckets with a nonzero checksum (i.e. holding entries)."""
+        base = self.buckets
+        for bucket in range(self.buckets):
+            if self._nodes[base + bucket]:
+                yield bucket
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ChecksumTree):
+            return self.buckets == other.buckets and self._nodes == other._nodes
+        return NotImplemented
+
+    def __hash__(self) -> int:  # pragma: no cover - trees are not dict keys
+        return hash((self.buckets, self._nodes[1]))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ChecksumTree(bits={self.bucket_bits}, root={self._nodes[1]:#x})"
+        )

@@ -150,9 +150,38 @@ def newer(a: Entry | None, b: Entry | None) -> Entry | None:
     return a if a.timestamp >= b.timestamp else b
 
 
+#: Key types with a canonical (content-determined) encoding; see
+#: :func:`repro.core.checksum.encode_key`.  ``bool`` rides along as an
+#: ``int`` subclass but encodes distinctly.
+_CANONICAL_KEY_TYPES = (str, int, float)
+
+
+def _has_canonical_encoding(key: Hashable) -> bool:
+    if isinstance(key, _CANONICAL_KEY_TYPES):
+        return True
+    if isinstance(key, tuple):
+        return all(_has_canonical_encoding(item) for item in key)
+    return False
+
+
 def validate_key(key: Hashable) -> Hashable:
-    """Reject unhashable or None keys early with a clear error."""
+    """Reject keys the replication machinery cannot handle, early.
+
+    Beyond unhashable and ``None`` keys, this rejects keys without a
+    canonical content-determined encoding (arbitrary objects, whose
+    default repr embeds ``id()``): such keys would digest differently at
+    every site, so the Section 1.3 checksums could never agree and every
+    anti-entropy exchange would degenerate to a full compare — forever.
+    Valid keys are ``str``/``int``/``float``/``bool`` and tuples of
+    those, exactly what the wire codec can ship.
+    """
     if key is None:
         raise ValueError("database keys must not be None")
     hash(key)  # raises TypeError for unhashable keys
+    if not _has_canonical_encoding(key):
+        raise ValueError(
+            f"key {key!r} has no canonical encoding; database keys must be "
+            "str/int/float/bool or tuples of those so checksums agree "
+            "across replicas"
+        )
     return key

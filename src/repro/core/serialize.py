@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Hashable, Iterable, List, Tuple
 
+from repro.core.checksum import encode_key as encode_key  # canonical key codec
 from repro.core.items import DeathCertificate, Entry, VersionedValue
 from repro.core.store import ReplicaStore, StoreUpdate
 from repro.core.timestamps import Timestamp
@@ -144,12 +145,14 @@ def dump_store(store: ReplicaStore) -> Dict[str, Any]:
         "site": store.site_id,
         "entries": [
             {"key": key, "entry": encode_entry(entry)}
-            for key, entry in sorted(store.entries(), key=lambda kv: repr(kv[0]))
+            for key, entry in sorted(
+                store.entries(), key=lambda kv: encode_key(kv[0])
+            )
         ],
         "dormant": [
             {"key": key, "entry": encode_entry(cert)}
             for key, cert in sorted(
-                _dormant_items(store), key=lambda kv: repr(kv[0])
+                _dormant_items(store), key=lambda kv: encode_key(kv[0])
             )
         ],
     }

@@ -23,7 +23,12 @@ import dataclasses
 import enum
 from typing import Any, Dict, Hashable, Iterator, List, Tuple
 
-from repro.core.checksum import DatabaseChecksum
+from repro.core.checksum import (
+    ChecksumTree,
+    DatabaseChecksum,
+    entry_digest_with,
+    key_digest,
+)
 from repro.core.items import (
     NIL,
     DeathCertificate,
@@ -81,15 +86,38 @@ class SweepStats:
     discarded_dormant: int = 0
 
 
-class ReplicaStore:
-    """One site's copy of the replicated database."""
+#: Default keyspace partitioning: 64 hash buckets.  Small enough that a
+#: thousand-site simulation pays negligible per-store overhead, large
+#: enough that the demo workloads' drill-downs isolate single keys.
+#: Production-scale stores (the million-key bench) pass a bigger value.
+DEFAULT_BUCKET_BITS = 6
 
-    def __init__(self, site_id: int = 0, clock: Clock | None = None):
+
+class ReplicaStore:
+    """One site's copy of the replicated database.
+
+    The keyspace is partitioned into ``2**bucket_bits`` hash buckets
+    (by the canonical key digest), each with an incrementally maintained
+    checksum folded up a :class:`~repro.core.checksum.ChecksumTree`.
+    The tree root *is* the classic Section 1.3 whole-database checksum;
+    the buckets below it are what lets a hierarchical exchange ship only
+    the differing slices of a large store.
+    """
+
+    def __init__(
+        self,
+        site_id: int = 0,
+        clock: Clock | None = None,
+        bucket_bits: int = DEFAULT_BUCKET_BITS,
+    ):
         self.site_id = site_id
         self.clock = clock if clock is not None else SequenceClock(site=site_id)
         self._entries: Dict[Hashable, Entry] = {}
         self._dormant: Dict[Hashable, DeathCertificate] = {}
-        self._checksum = DatabaseChecksum()
+        self._tree = ChecksumTree(bucket_bits)
+        # bucket -> keys currently in it; buckets vanish when emptied so
+        # a small store never pays for the full bucket range.
+        self._bucket_keys: Dict[int, set] = {}
         self._index = TimestampIndex()
         # When a certificate-expiry policy is active (set by the
         # DeathCertificateManager), incoming certificates already older
@@ -189,8 +217,58 @@ class ReplicaStore:
 
     @property
     def checksum(self) -> int:
-        """The incrementally maintained checksum of the active table."""
-        return self._checksum.value
+        """The incrementally maintained checksum of the active table.
+
+        Equal (by construction) to the checksum-tree root: the XOR of
+        every bucket checksum is the XOR of every entry digest.
+        """
+        return self._tree.root
+
+    @property
+    def checksum_tree(self) -> ChecksumTree:
+        """The live checksum tree.  Read-only for callers: exchange
+        strategies and the wire drill-down compare its nodes, only the
+        store's own mutations may fold deltas in."""
+        return self._tree
+
+    @property
+    def bucket_bits(self) -> int:
+        return self._tree.bucket_bits
+
+    @property
+    def bucket_count(self) -> int:
+        return self._tree.buckets
+
+    def bucket_of(self, key: Hashable) -> int:
+        """The hash bucket ``key`` belongs to (canonical key digest)."""
+        return self._tree.bucket_of(key_digest(key))
+
+    def bucket_checksum(self, bucket: int) -> int:
+        """The incrementally maintained checksum of one bucket."""
+        return self._tree.bucket_value(bucket)
+
+    def bucket_len(self, bucket: int) -> int:
+        """Number of active entries in one bucket."""
+        return len(self._bucket_keys.get(bucket, ()))
+
+    def bucket_entries(self, bucket: int) -> Iterator[Tuple[Hashable, Entry]]:
+        """Active ``(key, entry)`` pairs of one bucket, unspecified order."""
+        entries = self._entries
+        for key in self._bucket_keys.get(bucket, ()):
+            yield key, entries[key]
+
+    def bucket_updates(self, bucket: int) -> Iterator[StoreUpdate]:
+        for key, entry in self.bucket_entries(bucket):
+            yield StoreUpdate(key=key, entry=entry)
+
+    def bucket_updates_newest_first(self, bucket: int) -> Iterator[StoreUpdate]:
+        """One bucket's entries in reverse timestamp order (per-bucket
+        *peel back*); O(bucket size · log bucket size)."""
+        keys = self._bucket_keys.get(bucket)
+        if not keys:
+            return
+        for key, __ in self._index.newest_first_in(keys):
+            yield StoreUpdate(key=key, entry=self._entries[key])
 
     def recompute_checksum(self) -> int:
         """Checksum from scratch — used by tests to validate the invariant."""
@@ -198,15 +276,28 @@ class ReplicaStore:
             (key, entry.encode()) for key, entry in self._entries.items()
         ).value
 
-    def recent_updates(self, tau: float) -> List[StoreUpdate]:
+    def recompute_bucket_checksum(self, bucket: int) -> int:
+        """One bucket's checksum from scratch (invariant validation)."""
+        return DatabaseChecksum.of(
+            (key, entry.encode()) for key, entry in self.bucket_entries(bucket)
+        ).value
+
+    def recent_updates(self, tau: float, bucket: int | None = None) -> List[StoreUpdate]:
         """Entries whose age (by the local clock) is less than ``tau``.
 
         This is the *recent update list* exchanged before the checksum
-        comparison (Section 1.3).  Newest first.
+        comparison (Section 1.3).  Newest first.  With ``bucket`` the
+        list is restricted to that hash bucket, at a cost proportional
+        to the bucket size rather than the recent-update count.
         """
         now = self.clock.now()
         recent: List[StoreUpdate] = []
-        for key, stamp in self._index.newest_first():
+        if bucket is not None:
+            keys = self._bucket_keys.get(bucket)
+            pairs = self._index.newest_first_in(keys) if keys else ()
+        else:
+            pairs = self._index.newest_first()
+        for key, stamp in pairs:
             if stamp.age(now) >= tau:
                 break
             recent.append(StoreUpdate(key=key, entry=self._entries[key]))
@@ -340,13 +431,27 @@ class ReplicaStore:
 
     def _put(self, key: Hashable, entry: Entry) -> None:
         old = self._entries.get(key)
-        self._checksum.replace(key, old.encode() if old is not None else None, entry.encode())
+        kd = key_digest(key)
+        bucket = self._tree.bucket_of(kd)
+        delta = entry_digest_with(kd, entry.encode())
+        if old is not None:
+            delta ^= entry_digest_with(kd, old.encode())
+        else:
+            self._bucket_keys.setdefault(bucket, set()).add(key)
+        self._tree.apply(bucket, delta)
         self._entries[key] = entry
         self._index.set(key, entry.timestamp)
 
     def _drop(self, key: Hashable) -> None:
         entry = self._entries.pop(key)
-        self._checksum.remove(key, entry.encode())
+        kd = key_digest(key)
+        bucket = self._tree.bucket_of(kd)
+        self._tree.apply(bucket, entry_digest_with(kd, entry.encode()))
+        keys = self._bucket_keys.get(bucket)
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self._bucket_keys[bucket]
         self._index.discard(key)
 
     def snapshot(self) -> Dict[Hashable, Entry]:

@@ -16,7 +16,7 @@ iteration amortized O(1) per yielded item.
 from __future__ import annotations
 
 import bisect
-from typing import Hashable, Iterator, Tuple
+from typing import Hashable, Iterable, Iterator, Tuple
 
 from repro.core.timestamps import Timestamp
 
@@ -85,6 +85,29 @@ class TimestampIndex:
                 return
             yield key, timestamp
 
+    def newest_first_in(
+        self, keys: Iterable[Hashable]
+    ) -> Iterator[Tuple[Hashable, Timestamp]]:
+        """Live pairs restricted to ``keys``, newest first.
+
+        The per-bucket variant of :meth:`newest_first`: a hierarchical
+        exchange peels back or lists recent updates *within one hash
+        bucket*, and sorting the bucket's keys by their current
+        timestamps directly is O(k log k) in the bucket size — it never
+        touches the global pair list, so cost is independent of the
+        database size.  Keys absent from the index are skipped.
+        """
+        pairs = [
+            (timestamp, _OrderedKey(key))
+            for key, timestamp in (
+                (key, self._current.get(key)) for key in keys
+            )
+            if timestamp is not None
+        ]
+        pairs.sort(reverse=True)
+        for timestamp, okey in pairs:
+            yield okey.key, timestamp
+
     def oldest(self) -> Tuple[Hashable, Timestamp] | None:
         """Return the live pair with the smallest timestamp, if any."""
         for timestamp, okey in self._pairs:
@@ -124,16 +147,19 @@ class _OrderedKey:
     types (e.g. ``int`` and ``str``) are not mutually orderable, so we
     compare their ``repr`` instead — a stable, total order is all the
     index needs.
+
+    The rank string is computed lazily: timestamps are globally unique,
+    so the tie-break almost never runs, and caching a repr per key would
+    roughly double the index's memory on a million-key store.
     """
 
-    __slots__ = ("key", "_rank")
+    __slots__ = ("key",)
 
     def __init__(self, key: Hashable):
         self.key = key
-        self._rank = repr(key)
 
     def __lt__(self, other: "_OrderedKey") -> bool:
-        return self._rank < other._rank
+        return repr(self.key) < repr(other.key)
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, _OrderedKey) and self.key == other.key

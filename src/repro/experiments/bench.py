@@ -12,7 +12,12 @@ centers:
   uniform network, the ``ResolveDifference`` hot path;
 * **rumor** — one rumor-mongering epidemic at Table-1 scale;
 * **live-demo** — the asyncio runtime pushing one update through real
-  TCP sockets on localhost.
+  TCP sockets on localhost;
+* **million-key-hierarchical** — a million-entry store pair diverging
+  in 1% of its keys, resolved once by the hierarchical-checksum
+  drill-down and once by the naive full comparison; the recorded
+  ``examined_ratio`` is the entries-examined saving the checksum tree
+  buys at scale (``--quick`` shrinks to 20k keys).
 
 Three targeted measurements ride along: the parallel-over-serial
 speedup of the trial runner on this machine, a per-conversation
@@ -161,6 +166,62 @@ def _bench_live_demo(quick: bool) -> ScenarioTiming:
 
     elapsed, trials, detail = _timed(work)
     return ScenarioTiming("live-demo", elapsed, trials, detail)
+
+
+def _bench_million_key(quick: bool) -> ScenarioTiming:
+    from repro.core.store import ReplicaStore
+    from repro.protocols.base import ExchangeMode
+    from repro.protocols.exchange import FullCompare, HierarchicalChecksum
+
+    n = 20_000 if quick else 1_000_000
+    bits = 12 if quick else 17
+    dirty = max(1, n // 100)
+    stride = n // dirty
+
+    def work() -> Tuple[int, Dict[str, Any]]:
+        # Integer keys and one shared value string keep the build cheap
+        # and the measurement about the exchange, not value churn.
+        a = ReplicaStore(site_id=0, bucket_bits=bits)
+        b = ReplicaStore(site_id=1, bucket_bits=bits)
+        value = "x" * 16
+        for i in range(n):
+            update = a.update(i, value)
+            b.apply_entry(update.key, update.entry)
+        mode = ExchangeMode.PUSH_PULL
+        # 1% of the keys move forward at ``a`` only; ``b`` goes stale.
+        for i in range(dirty):
+            a.update(i * stride, "fresh")
+        start = time.perf_counter()
+        hier = HierarchicalChecksum().exchange(a, b, mode)
+        hier_s = time.perf_counter() - start
+        # The same divergence again, resolved the naive way.
+        for i in range(dirty):
+            a.update(i * stride, "fresh-again")
+        start = time.perf_counter()
+        full = FullCompare().exchange(a, b, mode)
+        full_s = time.perf_counter() - start
+        assert a.checksum == b.checksum
+        ratio = (
+            full.entries_examined / hier.entries_examined
+            if hier.entries_examined
+            else 0.0
+        )
+        return 2, {
+            "n": n,
+            "bucket_bits": bits,
+            "dirty": dirty,
+            "entries_examined_hier": hier.entries_examined,
+            "entries_examined_full": full.entries_examined,
+            "examined_ratio": round(ratio, 2),
+            "tree_comparisons": hier.tree_comparisons,
+            "buckets_resolved": hier.buckets_resolved,
+            "updates_shipped_hier": hier.updates_shipped,
+            "hier_exchange_s": round(hier_s, 4),
+            "full_exchange_s": round(full_s, 4),
+        }
+
+    elapsed, trials, detail = _timed(work)
+    return ScenarioTiming("million-key-hierarchical", elapsed, trials, detail)
 
 
 # ----------------------------------------------------------------------
@@ -361,6 +422,7 @@ def run_bench(
         ("anti-entropy-pushpull", lambda: _bench_anti_entropy(quick)),
         ("rumor-push-k2", lambda: _bench_rumor(quick)),
         ("live-demo", lambda: _bench_live_demo(quick)),
+        ("million-key-hierarchical", lambda: _bench_million_key(quick)),
     ):
         say(f"bench: {name} ...")
         scenarios.append(fn())
@@ -461,5 +523,22 @@ def summary_lines(report: Dict[str, Any]) -> List[str]:
             f"  span emission: {spans['overhead_factor']:g}x overhead "
             f"(silent {spans['disabled_s']}s, consumed {spans['enabled_s']}s, "
             f"{spans['events']} events, n={spans['n']})"
+        )
+    million = next(
+        (
+            s
+            for s in report["scenarios"]
+            if s["name"] == "million-key-hierarchical" and "examined_ratio" in s["detail"]
+        ),
+        None,
+    )
+    if million:
+        detail = million["detail"]
+        lines.append(
+            f"  hierarchical exchange: {detail['examined_ratio']:g}x fewer "
+            f"entries examined than full compare "
+            f"({detail['entries_examined_hier']} vs "
+            f"{detail['entries_examined_full']}, n={detail['n']}, "
+            f"{detail['buckets_resolved']} dirty buckets)"
         )
     return lines

@@ -44,7 +44,7 @@ from repro.core.timestamps import SimClock
 from repro.net.membership import Membership, PeerInfo
 from repro.net.peer import InFlightBudget, Peer, PeerError, RetryPolicy
 from repro.obs.events import EventBus, EventKind
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, linear_buckets
 from repro.obs.profiling import Profiler
 from repro.obs.spans import (
     SpanContext,
@@ -59,10 +59,13 @@ from repro.net.wire import (
     MessageType,
     PROTOCOL_VERSION,
     TRACE_WIRE_VERSION,
+    TREE_WIRE_VERSION,
     WireError,
     encode_message,
     negotiated_version,
+    payload_bucket_list,
     payload_span_contexts,
+    payload_tree_nodes,
     payload_updates,
     read_message,
 )
@@ -84,7 +87,7 @@ class NodeConfig:
     anti_entropy_interval: float = 0.2
     rumor_interval: float = 0.05
     mode: ExchangeMode = ExchangeMode.PUSH_PULL
-    strategy: str = "full"            # "full" | "checksum"
+    strategy: str = "full"            # "full" | "checksum" | "hierarchical"
     tau: float = 30.0
     rumor_k: int = 2
     connection_limit: int = 8         # inbound conversations in flight
@@ -97,8 +100,12 @@ class NodeConfig:
     def __post_init__(self) -> None:
         if self.anti_entropy_interval <= 0 or self.rumor_interval <= 0:
             raise ValueError("intervals must be positive")
-        if self.strategy not in ("full", "checksum"):
+        if self.strategy not in ("full", "checksum", "hierarchical"):
             raise ValueError(f"unknown exchange strategy {self.strategy!r}")
+        if self.strategy == "hierarchical" and self.mode is not ExchangeMode.PUSH_PULL:
+            # Pruning a checksum subtree needs both sides' data present
+            # in the compared values; one-way modes cannot certify that.
+            raise ValueError("hierarchical strategy requires push-pull mode")
         if self.tau <= 0:
             raise ValueError("tau must be positive")
         if self.rumor_k < 1:
@@ -122,6 +129,12 @@ _SCALAR_COUNTERS = {
         "repro_updates_absorbed_total", "News applied from peers"),
     "rumors_started": (
         "repro_rumors_started_total", "Hot rumors started at this node"),
+    "tree_rounds": (
+        "repro_tree_rounds_total",
+        "TREE drill-down round trips in hierarchical exchanges"),
+    "entries_avoided": (
+        "repro_entries_avoided_total",
+        "Local entries a hierarchical exchange did not have to offer"),
     "rejections_in": (
         "repro_rejections_in_total", "Inbound conversations this node refused"),
     "rejections_out": (
@@ -162,6 +175,11 @@ class NodeStats:
         self.exchange_seconds = self.registry.histogram(
             "repro_exchange_seconds",
             "Latency of one initiated anti-entropy conversation (seconds)",
+        )
+        self.dirty_buckets = self.registry.histogram(
+            "repro_dirty_buckets",
+            "Differing buckets found per hierarchical drill-down",
+            buckets=linear_buckets(0.0, 8.0, 16),
         )
         self._scalars = {
             attr: self.registry.counter(name, help)
@@ -446,6 +464,7 @@ class GossipNode:
         mode = self.config.mode
         shipped = received = 0
         via = "full"
+        scope_buckets: Optional[List[int]] = None
         if self.config.strategy == "checksum":
             phase = await self._checksum_phase(peer, mode)
             if phase is None:
@@ -457,12 +476,46 @@ class GossipNode:
                 return True
             # Checksums still disagree: fall through to a full exchange.
             via = "checksum+full"
+        elif (
+            self.config.strategy == "hierarchical"
+            and self.wire_version(peer.node_id) >= TREE_WIRE_VERSION
+        ):
+            # A peer that has not yet advertised v3 (including every
+            # peer before its first conversation) takes the plain full
+            # exchange below — v1/v2 nodes never see TREE frames or
+            # bucket-scoped payloads.
+            walk = await self._tree_phase(peer, mode)
+            if walk is None:
+                return False  # refused
+            if walk == "mismatch":
+                # Bucket counts disagree; the trees don't line up.
+                via = "tree+full"
+            else:
+                dirty = walk
+                self.stats.dirty_buckets.observe(len(dirty))
+                if not dirty:
+                    self.stats.checksum_successes += 1
+                    self._settled(peer, mode, "tree", 0, 0)
+                    return True
+                scope_buckets = dirty
+                via = "tree"
         session = ExchangeSession(self.store, mode)
-        offered = session.offer()
+        if scope_buckets is None:
+            offered = session.offer()
+        else:
+            offered = [
+                update
+                for bucket in scope_buckets
+                for update in self.store.bucket_updates(bucket)
+            ]
         request_type = (
             MessageType.PUSH if mode.pushes else MessageType.PULL_REQUEST
         )
         payload = {"mode": mode.value, "updates": encode_updates(offered)}
+        if scope_buckets is not None:
+            payload["buckets"] = scope_buckets
+            payload["bits"] = self.store.bucket_bits
+            self.stats.entries_avoided += max(0, len(self.store) - len(offered))
         if mode.pushes and self.wire_version(peer.node_id) >= TRACE_WIRE_VERSION:
             payload["spans"] = self._span_contexts(offered, time.time())
         reply = await self._call(
@@ -485,6 +538,11 @@ class GossipNode:
             absorbed = [update for update, result in applied if result.was_news]
             self.stats.updates_absorbed += len(absorbed)
             self._note_news(absorbed, now=now)
+        if via == "tree":
+            # Resolved through the tree without a full comparison: the
+            # same success the checksum strategy counts, achieved with
+            # bucket-scoped traffic.
+            self.stats.checksum_successes += 1
         self._settled(peer, mode, via, shipped, received)
         return True
 
@@ -553,6 +611,50 @@ class GossipNode:
             partner=peer.node_id,
         )
         return settled, len(recent), len(incoming)
+
+    async def _tree_phase(self, peer: Peer, mode: ExchangeMode):
+        """Walk the checksum trees level by level over TREE frames.
+
+        Each round trip sends the differing nodes of one tree level with
+        this node's checksums; the peer answers with its children's
+        values for the internal nodes that differ, plus the buckets of
+        differing leaves.  Equal subtrees are pruned on both sides, so
+        traffic per round is proportional to the *difference*, and the
+        number of rounds to ``bucket_bits``.
+
+        Returns the sorted dirty-bucket list, ``"mismatch"`` when the
+        peer's bucket count differs from ours (caller falls back to a
+        full exchange), or ``None`` when the peer refused.
+        """
+        tree = self.store.checksum_tree
+        bits = self.store.bucket_bits
+        request = [[1, tree.root]]
+        dirty: List[int] = []
+        while request:
+            payload = {"mode": mode.value, "bits": bits, "nodes": request}
+            reply = await self._call(
+                peer,
+                Message(type=MessageType.TREE, sender=self.node_id, payload=payload),
+            )
+            if _rejected(reply):
+                return None
+            if reply.type is not MessageType.TREE:
+                raise WireError(f"expected TREE reply, got {reply.type.value}")
+            self.stats.tree_rounds += 1
+            if reply.payload.get("mismatch"):
+                return "mismatch"
+            dirty.extend(payload_bucket_list(reply.payload, "dirty"))
+            request = []
+            for node_id, theirs in payload_tree_nodes(reply.payload, "frontier"):
+                if not tree.valid_node(node_id):
+                    raise WireError(f"tree node {node_id} out of range")
+                if tree.node(node_id) == theirs:
+                    continue  # our subtree matches theirs: pruned
+                if tree.is_leaf(node_id):
+                    dirty.append(tree.bucket_of_leaf(node_id))
+                else:
+                    request.append([node_id, tree.node(node_id)])
+        return sorted(set(dirty))
 
     # ------------------------------------------------------------------
     # Outbound: rumor mongering
@@ -696,6 +798,8 @@ class GossipNode:
                     return self._handle_exchange(message)
                 if message.type is MessageType.CHECKSUM:
                     return self._handle_checksum(message)
+                if message.type is MessageType.TREE:
+                    return self._handle_tree(message)
                 if message.type is MessageType.RUMOR:
                     return self._handle_rumor(message)
                 if message.type is MessageType.MAIL:
@@ -712,13 +816,14 @@ class GossipNode:
         if message.type is MessageType.PULL_REQUEST:
             # The offer is a digest only: never apply, only serve back.
             mode = ExchangeMode.PULL
+        scope = self._exchange_scope(message.payload)
         ctxs = payload_span_contexts(message.payload, len(offered))
         # Keyed by trace id, not bare key: a frame carrying two versions
         # of one key must not hand version A's context to version B.
         ctx_by_trace = {trace_id_of(u): ctx for u, ctx in zip(offered, ctxs)}
         session = ExchangeSession(self.store, mode)
         with self.profiler.phase("merge"):
-            reply = session.respond(offered)
+            reply = session.respond(offered, scope=scope)
         now = time.time()
         self._record_deliveries(
             list(zip(reply.applied, reply.applied_results)),
@@ -769,6 +874,66 @@ class GossipNode:
             type=MessageType.CHECKSUM,
             sender=self.node_id,
             payload=payload,
+        )
+
+    def _exchange_scope(self, payload: Dict[str, Any]):
+        """The local ``(key, entry)`` scope of a bucket-limited offer.
+
+        A v3 initiator that resolved differences through a TREE
+        drill-down scopes its PUSH to the dirty buckets; the responder
+        must then only send back entries from *those* buckets, or the
+        reply would ship (nearly) its whole table.  Returns ``None`` —
+        whole-store scope — for ordinary offers, and also when the
+        advertised bucket geometry does not match ours: resolving over
+        the full table is always correct, just not as cheap.
+        """
+        if "buckets" not in payload:
+            return None
+        buckets = payload_bucket_list(payload, "buckets")
+        if payload.get("bits") != self.store.bucket_bits:
+            return None
+        count = self.store.bucket_count
+        if any(bucket >= count for bucket in buckets):
+            raise WireError(f"bucket index out of range in {buckets!r}")
+        return [
+            pair for bucket in buckets for pair in self.store.bucket_entries(bucket)
+        ]
+
+    def _handle_tree(self, message: Message) -> Message:
+        """One level of a hierarchical-checksum drill-down (v3).
+
+        The initiator sends ``(node_id, checksum)`` pairs from its tree;
+        for each that differs from ours we answer with our children's
+        values (internal nodes) or the bucket index (leaves).  Equal
+        nodes are dropped — that subtree is settled.
+        """
+        payload = message.payload
+        bits = payload.get("bits")
+        if bits != self.store.bucket_bits:
+            return Message(
+                type=MessageType.TREE,
+                sender=self.node_id,
+                payload={"bits": self.store.bucket_bits, "mismatch": True},
+            )
+        tree = self.store.checksum_tree
+        frontier: List[List[int]] = []
+        dirty: List[int] = []
+        for node_id, theirs in payload_tree_nodes(payload):
+            if not tree.valid_node(node_id):
+                raise WireError(f"tree node {node_id} out of range")
+            if tree.node(node_id) == theirs:
+                continue
+            if tree.is_leaf(node_id):
+                dirty.append(tree.bucket_of_leaf(node_id))
+            else:
+                left, right = tree.children(node_id)
+                frontier.append([left, tree.node(left)])
+                frontier.append([right, tree.node(right)])
+        self.stats.tree_rounds += 1
+        return Message(
+            type=MessageType.TREE,
+            sender=self.node_id,
+            payload={"bits": bits, "frontier": frontier, "dirty": dirty},
         )
 
     def _handle_rumor(self, message: Message) -> Message:
@@ -843,6 +1008,11 @@ class GossipNode:
             "uptime_seconds": time.time() - self._started_at,
             "checksum": self.store.checksum,
             "entries": entries,
+            "buckets": {
+                "bits": self.store.bucket_bits,
+                "count": self.store.bucket_count,
+                "nonzero": sum(1 for _ in self.store.checksum_tree.nonzero_buckets()),
+            },
             "census": {
                 # This node's own S/I/R view over the keys it stores:
                 # hot rumors are infective, the rest removed.  A node

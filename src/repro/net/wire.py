@@ -19,7 +19,12 @@ a plain v1 frame and never learns about ``max``.  A node replies at
 ``min(own max, peer's advertised max)`` — see :func:`negotiated_version`
 — and only attaches v2-only payload fields (the per-update trace
 contexts of :mod:`repro.obs.spans`) once the peer has advertised v2.
-v2 changes nothing else: every v1 field keeps its meaning.
+v2 changes nothing else: every v1 field keeps its meaning.  v3 adds the
+``TREE`` message type (hierarchical-checksum drill-down) and the
+``buckets``/``bits`` fields on ``PUSH`` payloads that scope an offer to
+a set of hash buckets; a node never sends either to a peer that has not
+advertised v3, falling back to the v1/v2 exchange instead, so v1 and v2
+peers see exactly the traffic they always did.
 
 Message types map onto the paper's mechanisms:
 
@@ -45,6 +50,10 @@ Message types map onto the paper's mechanisms:
                           reply is a ``STATUS`` frame and is served even when
                           the node is refusing gossip conversations
 ``ACK``                   generic reply: feedback, probe results, rejections
+``TREE``                  (v3) one level of a hierarchical-checksum
+                          drill-down: the initiator sends checksum-tree
+                          nodes, the responder answers with the children
+                          that differ and the dirty buckets reached
 ========================  ====================================================
 
 All decoding is strict: malformed frames raise :class:`WireError`, and
@@ -64,14 +73,17 @@ from typing import Any, Dict, Optional
 from repro.core.serialize import SerializeError
 
 #: Highest wire version this build speaks.
-PROTOCOL_VERSION = 2
+PROTOCOL_VERSION = 3
 #: The version frames are stamped with by default — the floor every
 #: peer understands.
 BASE_VERSION = 1
 #: Versions this decoder accepts.
-SUPPORTED_VERSIONS = frozenset({1, 2})
+SUPPORTED_VERSIONS = frozenset({1, 2, 3})
 #: First version whose payloads may carry per-update trace contexts.
 TRACE_WIRE_VERSION = 2
+#: First version that understands ``TREE`` drill-down frames and
+#: bucket-scoped ``PUSH`` payloads.
+TREE_WIRE_VERSION = 3
 
 #: Hard ceiling on one frame's body size (16 MiB).  Full-table offers
 #: for the demo workloads are a few KiB; this bound exists to stop a
@@ -95,6 +107,7 @@ class MessageType(enum.Enum):
     MAIL = "mail"
     STATUS = "status"
     ACK = "ack"
+    TREE = "tree"
 
 
 _TYPES_BY_VALUE = {t.value: t for t in MessageType}
@@ -240,3 +253,47 @@ def payload_span_contexts(
     if not isinstance(blobs, list) or len(blobs) != count:
         return [None] * count
     return [SpanContext.from_wire(blob) for blob in blobs]
+
+
+def payload_tree_nodes(
+    payload: Dict[str, Any], field: str = "nodes"
+) -> list[tuple[int, int]]:
+    """Decode a ``[[node_id, checksum], ...]`` list from a TREE payload.
+
+    Unlike span contexts, tree nodes are *data*: a malformed list means
+    the drill-down cannot proceed, so garbage raises :class:`WireError`
+    rather than degrading.  Node ids must be positive and checksums
+    non-negative integers (JSON carries Python's arbitrary-precision
+    ints, so 128-bit checksum values round-trip exactly).
+    """
+    blobs = payload.get(field, [])
+    if not isinstance(blobs, list):
+        raise WireError(f"bad {field!r} in payload: expected an array")
+    nodes: list[tuple[int, int]] = []
+    for blob in blobs:
+        if (
+            not isinstance(blob, (list, tuple))
+            or len(blob) != 2
+            or not isinstance(blob[0], int)
+            or isinstance(blob[0], bool)
+            or not isinstance(blob[1], int)
+            or isinstance(blob[1], bool)
+            or blob[0] < 1
+            or blob[1] < 0
+        ):
+            raise WireError(
+                f"bad {field!r} in payload: expected [node_id, checksum] pairs, "
+                f"got {blob!r}"
+            )
+        nodes.append((blob[0], blob[1]))
+    return nodes
+
+
+def payload_bucket_list(payload: Dict[str, Any], field: str = "dirty") -> list[int]:
+    """Decode a list of bucket indexes from a TREE payload."""
+    blobs = payload.get(field, [])
+    if not isinstance(blobs, list) or not all(
+        isinstance(b, int) and not isinstance(b, bool) and b >= 0 for b in blobs
+    ):
+        raise WireError(f"bad {field!r} in payload: expected bucket indexes")
+    return list(blobs)

@@ -45,6 +45,20 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
 )
 
 
+def linear_buckets(start: float, width: float, count: int) -> Tuple[float, ...]:
+    """``count`` evenly spaced histogram bounds starting at ``start``.
+
+    The latency-oriented :data:`DEFAULT_BUCKETS` are useless for count
+    distributions (dirty buckets per exchange, entries per bucket);
+    this mirrors the Prometheus client helper of the same name.
+    """
+    if count < 1:
+        raise MetricError("linear_buckets: count must be >= 1")
+    if width <= 0:
+        raise MetricError("linear_buckets: width must be positive")
+    return tuple(start + width * i for i in range(count))
+
+
 class MetricError(Exception):
     """A metric was declared or used inconsistently."""
 

@@ -71,13 +71,25 @@ class AntiEntropyConfig:
 
 @dataclasses.dataclass(slots=True)
 class ExchangeStats:
-    """Cumulative counters across all exchanges run so far."""
+    """Cumulative counters across all exchanges run so far.
+
+    ``full_compares`` and ``checksum_successes`` partition the live
+    exchanges that did any comparison work: a conversation counts as a
+    checksum success only if *no* phase fell back to comparing the
+    complete databases (hierarchical drill-downs that resolved through
+    the tree included).  ``bucket_rounds`` totals the dirty buckets
+    resolved by hierarchical exchanges, and ``entries_avoided`` the
+    entries those conversations did *not* have to examine relative to a
+    full comparison of both tables.
+    """
 
     exchanges: int = 0
     updates_shipped: int = 0
     entries_examined: int = 0
     full_compares: int = 0
     checksum_successes: int = 0
+    bucket_rounds: int = 0
+    entries_avoided: int = 0
     rejected: int = 0
 
 
@@ -239,6 +251,10 @@ class AntiEntropyProtocol(Protocol):
             self.stats.full_compares += 1
         elif report.checksum_rounds:
             self.stats.checksum_successes += 1
+            self.stats.entries_avoided += max(
+                0, len(store_s) + len(store_p) - report.entries_examined
+            )
+        self.stats.bucket_rounds += report.buckets_resolved
         for update in report.sent_ab:
             cluster.notify_news(
                 partner_id, update, ApplyResult.APPLIED, via=self, source=site_id

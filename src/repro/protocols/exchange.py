@@ -14,6 +14,10 @@ objects:
 * :class:`PeelBack` — exchange updates in reverse timestamp order,
   incrementally recomputing checksums, until the checksums agree;
   requires the store's inverted timestamp index.
+* :class:`HierarchicalChecksum` — compare checksum-tree roots, walk
+  down only the differing subtrees, and run the full comparison
+  bucket-by-bucket over just the dirty hash buckets; cost scales with
+  the *difference* between the stores, not their size.
 
 Every strategy leaves the two stores in agreement (for push-pull) and
 reports how much data had to cross the wire, which is what Tables 4 and
@@ -31,12 +35,22 @@ from repro.protocols.base import ExchangeMode, entry_beats
 
 @dataclasses.dataclass(slots=True)
 class ExchangeReport:
-    """What one anti-entropy conversation cost and changed."""
+    """What one anti-entropy conversation cost and changed.
+
+    ``checksum_rounds`` counts whole-database checksum comparisons;
+    ``tree_comparisons`` counts checksum-tree node comparisons during a
+    hierarchical drill-down; ``buckets_resolved`` counts the dirty
+    buckets whose contents were exchanged.  ``full_compare`` is true
+    when any phase of the conversation fell back to comparing the
+    complete databases.
+    """
 
     sent_ab: List[StoreUpdate] = dataclasses.field(default_factory=list)
     sent_ba: List[StoreUpdate] = dataclasses.field(default_factory=list)
     entries_examined: int = 0
     checksum_rounds: int = 0
+    tree_comparisons: int = 0
+    buckets_resolved: int = 0
     full_compare: bool = False
 
     @property
@@ -46,6 +60,24 @@ class ExchangeReport:
     @property
     def changed(self) -> bool:
         return bool(self.sent_ab or self.sent_ba)
+
+    def merge(self, other: "ExchangeReport") -> "ExchangeReport":
+        """Fold a sub-conversation's report into this one.
+
+        Every strategy that chains phases (checksum-then-full,
+        tree-then-fallback) must aggregate through here so the
+        counters keep one consistent meaning: costs add, shipped lists
+        concatenate, and ``full_compare`` is sticky — if any phase paid
+        for a full comparison the conversation did.
+        """
+        self.sent_ab.extend(other.sent_ab)
+        self.sent_ba.extend(other.sent_ba)
+        self.entries_examined += other.entries_examined
+        self.checksum_rounds += other.checksum_rounds
+        self.tree_comparisons += other.tree_comparisons
+        self.buckets_resolved += other.buckets_resolved
+        self.full_compare = self.full_compare or other.full_compare
+        return self
 
 
 @dataclasses.dataclass(slots=True)
@@ -107,7 +139,11 @@ class ExchangeSession:
             StoreUpdate(key=key, entry=entry) for key, entry in self.store.entries()
         ]
 
-    def respond(self, offered: Iterable[StoreUpdate]) -> SessionReply:
+    def respond(
+        self,
+        offered: Iterable[StoreUpdate],
+        scope: Iterable[Tuple[object, object]] | None = None,
+    ) -> SessionReply:
         """Resolve the initiator's offer against the local store.
 
         Single pass over the offer plus one over the local-only keys,
@@ -115,6 +151,13 @@ class ExchangeSession:
         and sorting their key union.  Mutations are deferred until every
         decision is made, so each key is judged against the
         pre-exchange state of the store exactly as before.
+
+        ``scope`` restricts the local-only pass to the given
+        ``(key, entry)`` pairs instead of the whole table.  A
+        hierarchical exchange resolves one hash bucket at a time, so the
+        responder must only send back entries from *that* bucket — the
+        rest of the store is out of the conversation's scope.  The scope
+        iterable is consumed before any mutation is applied.
         """
         store = self.store
         pushes = self.mode.pushes
@@ -132,7 +175,8 @@ class ExchangeSession:
                 to_apply.append(update)
             elif pulls and entry_beats(local, update.entry):
                 reply.send_back.append(StoreUpdate(key=key, entry=local))
-        for key, entry in store.entries():
+        local_entries = store.entries() if scope is None else scope
+        for key, entry in local_entries:
             if key in offered_keys:
                 continue
             examined += 1
@@ -239,13 +283,11 @@ class ChecksumWithRecent(ExchangeStrategy):
         report.checksum_rounds = 1
         if a.checksum == b.checksum:
             return report
-        # Phase 3: checksums disagree -> full database comparison.
-        full = resolve_difference(a, b, mode)
-        report.sent_ab.extend(full.sent_ab)
-        report.sent_ba.extend(full.sent_ba)
-        report.entries_examined += full.entries_examined
-        report.full_compare = True
-        return report
+        # Phase 3: checksums disagree -> full database comparison.  The
+        # fallback's report is folded in via merge() so every counter —
+        # not just the ones this strategy happened to touch — stays
+        # consistent with what the conversation actually cost.
+        return report.merge(resolve_difference(a, b, mode))
 
     def describe(self) -> str:
         return f"checksum+recent(tau={self.tau:g})"
@@ -267,30 +309,39 @@ class PeelBack(ExchangeStrategy):
         if mode is not ExchangeMode.PUSH_PULL:
             raise ValueError("peel back requires push-pull exchanges")
         report = ExchangeReport()
+        report.checksum_rounds = 1
         if a.checksum == b.checksum:
-            report.checksum_rounds = 1
             return report
         # Merge the two newest-first streams; after shipping each batch
-        # of equal-timestamp updates, re-compare checksums.
+        # of equal-timestamp updates, re-compare checksums.  Batching
+        # matters when both sides hold the same update (shared history):
+        # shipping A's copy and re-comparing before B's copy has gone
+        # the other way would find the checksums *still* unequal and
+        # charge a useless round.  One round per distinct timestamp is
+        # the granularity the docstring promises.
         stream_a = a.updates_newest_first()
         stream_b = b.updates_newest_first()
         pending_a = next(stream_a, None)
         pending_b = next(stream_b, None)
         while pending_a is not None or pending_b is not None:
-            take_from_a = pending_b is None or (
-                pending_a is not None and pending_a.timestamp >= pending_b.timestamp
+            batch_ts = max(
+                ts
+                for ts in (
+                    pending_a.timestamp if pending_a is not None else None,
+                    pending_b.timestamp if pending_b is not None else None,
+                )
+                if ts is not None
             )
-            if take_from_a:
+            while pending_a is not None and pending_a.timestamp == batch_ts:
                 update, pending_a = pending_a, next(stream_a, None)
-                source, target = a, b
-                sent = report.sent_ab
-            else:
+                report.entries_examined += 1
+                if b.apply_update(update).was_news:
+                    report.sent_ab.append(update)
+            while pending_b is not None and pending_b.timestamp == batch_ts:
                 update, pending_b = pending_b, next(stream_b, None)
-                source, target = b, a
-                sent = report.sent_ba
-            report.entries_examined += 1
-            if target.apply_update(update).was_news:
-                sent.append(update)
+                report.entries_examined += 1
+                if a.apply_update(update).was_news:
+                    report.sent_ba.append(update)
             report.checksum_rounds += 1
             if a.checksum == b.checksum:
                 return report
@@ -304,12 +355,66 @@ class PeelBack(ExchangeStrategy):
         return "peel-back"
 
 
+class HierarchicalChecksum(ExchangeStrategy):
+    """Drill down a checksum tree and exchange only differing buckets.
+
+    Both stores maintain a Merkle-style tree over their hash buckets
+    (``ReplicaStore.checksum_tree``) whose root equals the classic
+    whole-database checksum.  The exchange compares roots, recurses into
+    subtrees whose checksums differ, and then runs the ordinary
+    session-based comparison restricted to each dirty bucket.  When the
+    stores differ in a fraction ``d`` of buckets, the conversation
+    examines ``O(d · B · bucket_size)`` entries plus ``O(d · B · log B)``
+    tree-node comparisons — independent of the total database size for
+    small differences, which is what makes anti-entropy affordable on
+    million-key stores.
+
+    Only meaningful for push-pull: pruning a subtree on checksum
+    equality requires both sides' contributions to be present in the
+    compared values, and a one-way exchange cannot certify that.
+
+    If the peers disagree on bucket count their trees do not line up
+    node-for-node; the exchange falls back to a full comparison rather
+    than guessing at a mapping.
+    """
+
+    def exchange(self, a: ReplicaStore, b: ReplicaStore, mode: ExchangeMode) -> ExchangeReport:
+        if mode is not ExchangeMode.PUSH_PULL:
+            raise ValueError("hierarchical checksum requires push-pull exchanges")
+        report = ExchangeReport()
+        report.checksum_rounds = 1
+        if a.checksum == b.checksum:
+            return report
+        if a.bucket_count != b.bucket_count:
+            return report.merge(resolve_difference(a, b, mode))
+        dirty, comparisons = a.checksum_tree.diff_buckets(b.checksum_tree)
+        report.tree_comparisons = comparisons
+        initiator = ExchangeSession(a, mode)
+        responder = ExchangeSession(b, mode)
+        for bucket in dirty:
+            offered = [
+                StoreUpdate(key=key, entry=entry)
+                for key, entry in a.bucket_entries(bucket)
+            ]
+            reply = responder.respond(offered, scope=b.bucket_entries(bucket))
+            report.entries_examined += reply.entries_examined
+            report.sent_ab.extend(reply.applied)
+            report.sent_ba.extend(initiator.absorb(reply.send_back))
+            report.buckets_resolved += 1
+        return report
+
+    def describe(self) -> str:
+        return "hierarchical-checksum"
+
+
 def strategy_for(name: str, tau: float = 100.0) -> ExchangeStrategy:
-    """Factory: ``"full"``, ``"checksum"`` or ``"peelback"``."""
+    """Factory: ``"full"``, ``"checksum"``, ``"peelback"`` or ``"hierarchical"``."""
     if name == "full":
         return FullCompare()
     if name == "checksum":
         return ChecksumWithRecent(tau)
     if name == "peelback":
         return PeelBack()
+    if name == "hierarchical":
+        return HierarchicalChecksum()
     raise ValueError(f"unknown exchange strategy {name!r}")

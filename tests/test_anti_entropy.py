@@ -6,7 +6,7 @@ import pytest
 from repro.cluster.cluster import Cluster
 from repro.protocols.anti_entropy import AntiEntropyConfig, AntiEntropyProtocol
 from repro.protocols.base import ExchangeMode
-from repro.protocols.exchange import ChecksumWithRecent, PeelBack
+from repro.protocols.exchange import ChecksumWithRecent, HierarchicalChecksum, PeelBack
 from repro.sim.transport import ConnectionPolicy
 
 
@@ -166,7 +166,7 @@ class TestDownSites:
 
 class TestLiveStrategies:
     @pytest.mark.parametrize(
-        "strategy", [ChecksumWithRecent(tau=50.0), PeelBack()]
+        "strategy", [ChecksumWithRecent(tau=50.0), PeelBack(), HierarchicalChecksum()]
     )
     def test_asynchronous_mode_converges(self, strategy):
         cluster = Cluster(n=20, seed=1)
@@ -190,6 +190,24 @@ class TestLiveStrategies:
         cluster.inject_update(0, "k", "v")
         cluster.run_cycles(10)
         assert protocol.stats.checksum_successes > 0
+
+    def test_hierarchical_bucket_stats_tracked(self):
+        cluster = Cluster(n=10, seed=1)
+        protocol = AntiEntropyProtocol(
+            config=AntiEntropyConfig(mode=ExchangeMode.PUSH_PULL, synchronous=False),
+            strategy=HierarchicalChecksum(),
+        )
+        cluster.add_protocol(protocol)
+        for i in range(3):
+            cluster.inject_update(i, f"k{i}", i)
+        cluster.run_until(cluster.converged, max_cycles=100)
+        assert cluster.converged()
+        # Differences were settled bucket-by-bucket, exchanges that found
+        # equal roots were counted as checksum successes, and the scoped
+        # offers skipped entries a full comparison would have examined.
+        assert protocol.stats.bucket_rounds > 0
+        assert protocol.stats.checksum_successes > 0
+        assert protocol.stats.full_compares == 0
 
     def test_transfer_hook_fires(self):
         transfers = []

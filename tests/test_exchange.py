@@ -5,13 +5,15 @@ import pytest
 from repro.protocols.base import ExchangeMode
 from repro.protocols.exchange import (
     ChecksumWithRecent,
+    ExchangeReport,
     FullCompare,
+    HierarchicalChecksum,
     PeelBack,
     resolve_difference,
     strategy_for,
 )
 
-from conftest import make_store
+from conftest import make_store, ts
 
 
 def diverged_pair(common=5, a_only=3, b_only=2):
@@ -161,11 +163,159 @@ class TestPeelBack:
         assert b.get("old-only-a") == "x"
 
 
+class TestPeelBackBatching:
+    """Regression: the docstring promises one re-compare per batch of
+    equal-timestamp updates, but the original implementation recompared
+    after every single update — doubling the checksum rounds whenever
+    both sides stream the same shared-history entry."""
+
+    def test_one_round_per_shared_timestamp(self):
+        a = make_store(0)
+        b = make_store(1)
+        a.update("old-only-a", "x")      # the divergence, deepest in history
+        shared = 10
+        for i in range(shared):
+            update = a.update(f"shared-{i}", i)
+            b.apply_entry(update.key, update.entry)
+        report = PeelBack().exchange(a, b, ExchangeMode.PUSH_PULL)
+        assert a.agrees_with(b)
+        # Initial compare + one batch per shared timestamp + the final
+        # batch that ships the divergence.  The unbatched implementation
+        # charged 2 rounds per shared timestamp (one per stream side).
+        assert report.checksum_rounds == shared + 2
+        # Both copies of every shared entry are examined, plus the one
+        # real difference.
+        assert report.entries_examined == 2 * shared + 1
+
+    def test_equal_timestamps_across_keys_ship_in_one_batch(self):
+        from repro.core.items import VersionedValue
+
+        a = make_store(0)
+        b = make_store(1)
+        shared = a.update("shared", "s")
+        b.apply_entry(shared.key, shared.entry)
+        # Two different keys, one per side, carrying the exact same
+        # timestamp: the docstring's batch is both of them together.
+        stamp = ts(50.0, site=9, seq=0)
+        a.apply_entry("only-a", VersionedValue("va", stamp))
+        b.apply_entry("only-b", VersionedValue("vb", stamp))
+        report = PeelBack().exchange(a, b, ExchangeMode.PUSH_PULL)
+        assert a.agrees_with(b)
+        # Initial compare + the single equal-timestamp batch.
+        assert report.checksum_rounds == 2
+        assert len(report.sent_ab) == 1
+        assert len(report.sent_ba) == 1
+
+    def test_initial_compare_is_counted_when_stores_differ(self):
+        a, b = diverged_pair(common=0, a_only=1, b_only=0)
+        report = PeelBack().exchange(a, b, ExchangeMode.PUSH_PULL)
+        assert a.agrees_with(b)
+        # One failed initial compare + one batch that settles it.
+        assert report.checksum_rounds == 2
+
+
+class TestHierarchicalChecksum:
+    def test_converges_and_ships_only_differences(self):
+        a, b = diverged_pair(common=40, a_only=3, b_only=2)
+        report = HierarchicalChecksum().exchange(a, b, ExchangeMode.PUSH_PULL)
+        assert a.agrees_with(b)
+        assert len(report.sent_ab) == 3
+        assert len(report.sent_ba) == 2
+        assert not report.full_compare
+        assert report.checksum_rounds == 1
+        assert report.buckets_resolved >= 1
+        assert report.tree_comparisons >= 1
+
+    def test_examines_only_dirty_buckets(self):
+        a, b = diverged_pair(common=60, a_only=1, b_only=0)
+        dirty_bucket = a.bucket_of("a-0")
+        report = HierarchicalChecksum().exchange(a, b, ExchangeMode.PUSH_PULL)
+        assert a.agrees_with(b)
+        # Every entry examined lives in the single dirty bucket; the 60
+        # shared keys spread over the other buckets are never touched.
+        assert report.buckets_resolved == 1
+        assert report.entries_examined <= 2 * a.bucket_len(dirty_bucket)
+        assert report.entries_examined < 60
+
+    def test_identical_stores_cost_one_root_compare(self):
+        a, b = diverged_pair(common=10, a_only=0, b_only=0)
+        report = HierarchicalChecksum().exchange(a, b, ExchangeMode.PUSH_PULL)
+        assert report.checksum_rounds == 1
+        assert report.tree_comparisons == 0
+        assert report.entries_examined == 0
+        assert not report.changed
+
+    def test_requires_push_pull(self):
+        a, b = diverged_pair()
+        with pytest.raises(ValueError):
+            HierarchicalChecksum().exchange(a, b, ExchangeMode.PUSH)
+
+    def test_bucket_count_mismatch_falls_back_to_full_compare(self):
+        from repro.core.store import ReplicaStore
+        from repro.core.timestamps import SequenceClock
+
+        a = ReplicaStore(site_id=0, clock=SequenceClock(site=0), bucket_bits=4)
+        b = ReplicaStore(site_id=1, clock=SequenceClock(site=1), bucket_bits=6)
+        a.update("only-a", 1)
+        update = a.update("shared", 2)
+        b.apply_entry(update.key, update.entry)
+        report = HierarchicalChecksum().exchange(a, b, ExchangeMode.PUSH_PULL)
+        assert a.agrees_with(b)
+        assert report.full_compare
+        assert report.buckets_resolved == 0
+
+    def test_deletions_spread_through_buckets(self):
+        a, b = diverged_pair(common=20, a_only=0, b_only=0)
+        a.delete("common-3")
+        report = HierarchicalChecksum().exchange(a, b, ExchangeMode.PUSH_PULL)
+        assert a.agrees_with(b)
+        assert b.get("common-3") is None
+        assert not report.full_compare
+
+
+class TestExchangeReportMerge:
+    def test_costs_add_and_full_compare_is_sticky(self):
+        first = ExchangeReport(entries_examined=5, checksum_rounds=1)
+        second = ExchangeReport(
+            entries_examined=7, tree_comparisons=3, buckets_resolved=2,
+            full_compare=True,
+        )
+        merged = first.merge(second)
+        assert merged is first
+        assert merged.entries_examined == 12
+        assert merged.checksum_rounds == 1
+        assert merged.tree_comparisons == 3
+        assert merged.buckets_resolved == 2
+        assert merged.full_compare
+
+    def test_shipped_lists_concatenate(self):
+        a, b = diverged_pair(common=2, a_only=1, b_only=1)
+        full = resolve_difference(a, b, ExchangeMode.PUSH_PULL)
+        report = ExchangeReport().merge(full)
+        assert report.updates_shipped == full.updates_shipped
+        assert report.sent_ab == full.sent_ab
+        assert report.sent_ba == full.sent_ba
+
+    def test_checksum_fallback_accounting_flows_through_merge(self):
+        # The ChecksumWithRecent phase-3 fallback must leave a report
+        # whose counters describe the whole conversation.
+        a, b = diverged_pair(common=5, a_only=2, b_only=0)
+        for __ in range(100):
+            a.clock.next_timestamp()
+            b.clock.next_timestamp()
+        report = ChecksumWithRecent(tau=1.0).exchange(a, b, ExchangeMode.PUSH_PULL)
+        assert report.full_compare
+        assert report.checksum_rounds == 1     # the phase-2 compare
+        assert report.updates_shipped == 2
+        assert report.entries_examined >= 7    # the full pass examined the union
+
+
 class TestStrategyFactory:
     def test_known_strategies(self):
         assert isinstance(strategy_for("full"), FullCompare)
         assert isinstance(strategy_for("checksum", tau=5.0), ChecksumWithRecent)
         assert isinstance(strategy_for("peelback"), PeelBack)
+        assert isinstance(strategy_for("hierarchical"), HierarchicalChecksum)
 
     def test_unknown_rejected(self):
         with pytest.raises(ValueError):
@@ -174,3 +324,4 @@ class TestStrategyFactory:
     def test_describe(self):
         assert strategy_for("full").describe() == "full-compare"
         assert "tau=5" in strategy_for("checksum", tau=5.0).describe()
+        assert strategy_for("hierarchical").describe() == "hierarchical-checksum"

@@ -45,9 +45,36 @@ class TestChecker:
         checker = InvariantChecker()
         cluster.add_protocol(checker)
         cluster.inject_update(0, "k", "v")
-        # Corrupt the checksum behind the store's back.
-        cluster.sites[0].store._checksum._value ^= 1
+        # Corrupt the root checksum behind the store's back.
+        cluster.sites[0].store.checksum_tree._nodes[1] ^= 1
         with pytest.raises(InvariantViolation, match="checksum"):
+            cluster.run_cycle()
+
+    def test_detects_corrupted_bucket_leaf(self):
+        cluster = Cluster(n=3, seed=0)
+        checker = InvariantChecker()
+        cluster.add_protocol(checker)
+        cluster.inject_update(0, "k", "v")
+        store = cluster.sites[0].store
+        tree = store.checksum_tree
+        # Flip one occupied leaf without propagating to its ancestors:
+        # the root (the whole-store checksum) still looks right, so only
+        # the per-bucket check can catch this.
+        bucket = store.bucket_of("k")
+        tree._nodes[tree.buckets + bucket] ^= 1
+        with pytest.raises(InvariantViolation, match="leaf"):
+            cluster.run_cycle()
+
+    def test_detects_internal_node_drift(self):
+        cluster = Cluster(n=3, seed=0)
+        checker = InvariantChecker()
+        cluster.add_protocol(checker)
+        cluster.inject_update(0, "k", "v")
+        tree = cluster.sites[0].store.checksum_tree
+        # An internal node that is not the XOR of its children would let
+        # a drill-down prune a differing subtree.
+        tree._nodes[tree.buckets // 2] ^= 1
+        with pytest.raises(InvariantViolation, match="XOR|checksum"):
             cluster.run_cycle()
 
     def test_detects_backwards_timestamp(self):

@@ -136,3 +136,12 @@ class TestHelpers:
     def test_validate_key_accepts_tuples_and_strings(self):
         assert validate_key(("a", 1)) == ("a", 1)
         assert validate_key("name") == "name"
+        assert validate_key(3.5) == 3.5
+        assert validate_key(True) is True
+
+    def test_validate_key_rejects_non_canonical_types(self):
+        # Hashable but without a canonical byte encoding: the checksum
+        # layer could not digest these consistently across processes.
+        for key in (frozenset({"a"}), b"bytes", object(), ("ok", object())):
+            with pytest.raises(ValueError):
+                validate_key(key)

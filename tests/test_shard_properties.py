@@ -1,0 +1,132 @@
+"""Property-based tests of the sharded checksum layer.
+
+The hierarchical exchange is only sound if the bucket decomposition is:
+whatever sequence of updates, deletions and certificate sweeps a store
+absorbs, every leaf of the checksum tree must equal a fresh per-bucket
+recomputation, every internal node the XOR of its children, and the
+root the classic whole-database checksum.  These properties are what
+let a drill-down prune an equal subtree without looking inside it.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.store import ReplicaStore
+from repro.core.timestamps import SequenceClock
+from repro.protocols.base import ExchangeMode
+from repro.protocols.exchange import HierarchicalChecksum
+
+KEYS = st.one_of(
+    st.integers(0, 30),
+    st.sampled_from(["alpha", "beta", "gamma", "1", ("pair", 1), 2.5]),
+)
+
+OPS = st.lists(
+    st.tuples(st.sampled_from(["update", "delete", "sweep"]), KEYS),
+    max_size=60,
+)
+
+
+def fresh_store(site: int = 0, bucket_bits: int = 4) -> ReplicaStore:
+    return ReplicaStore(
+        site_id=site, clock=SequenceClock(site=site), bucket_bits=bucket_bits
+    )
+
+
+def run_ops(store: ReplicaStore, ops) -> None:
+    for op, key in ops:
+        if op == "update":
+            store.update(key, f"v-{key!r}")
+        elif op == "delete" and store.entry(key) is not None:
+            store.delete(key)
+        elif op == "sweep":
+            # tau1=0 expires every certificate immediately — the
+            # hardest case for bucket bookkeeping, since entries leave
+            # the active table behind the exchange's back.
+            store.sweep_certificates(tau1=0.0)
+
+
+class TestBucketInvariants:
+    @given(OPS)
+    @settings(max_examples=60)
+    def test_leaves_match_fresh_recomputation(self, ops):
+        store = fresh_store()
+        run_ops(store, ops)
+        for bucket in range(store.bucket_count):
+            assert store.bucket_checksum(bucket) == store.recompute_bucket_checksum(
+                bucket
+            )
+
+    @given(OPS)
+    @settings(max_examples=60)
+    def test_internal_nodes_are_xor_of_children(self, ops):
+        store = fresh_store()
+        run_ops(store, ops)
+        tree = store.checksum_tree
+        for node in range(1, tree.buckets):
+            left, right = tree.children(node)
+            assert tree.node(node) == tree.node(left) ^ tree.node(right)
+
+    @given(OPS)
+    @settings(max_examples=60)
+    def test_root_equals_whole_database_checksum(self, ops):
+        store = fresh_store()
+        run_ops(store, ops)
+        assert store.checksum == store.recompute_checksum()
+
+    @given(OPS)
+    @settings(max_examples=60)
+    def test_buckets_partition_the_active_table(self, ops):
+        store = fresh_store()
+        run_ops(store, ops)
+        seen = {}
+        for bucket in range(store.bucket_count):
+            for key, entry in store.bucket_entries(bucket):
+                assert key not in seen, "key filed in two buckets"
+                assert store.bucket_of(key) == bucket
+                seen[key] = entry
+        assert seen == dict(store.entries())
+
+    @given(OPS)
+    @settings(max_examples=60)
+    def test_bucket_updates_newest_first_is_sorted(self, ops):
+        store = fresh_store()
+        run_ops(store, ops)
+        for bucket in range(store.bucket_count):
+            stamps = [
+                u.entry.timestamp for u in store.bucket_updates_newest_first(bucket)
+            ]
+            assert stamps == sorted(stamps, reverse=True)
+
+
+class TestHierarchicalExchangeProperties:
+    @given(OPS, OPS, OPS)
+    @settings(max_examples=40)
+    def test_exchange_converges_examining_only_dirty_buckets(
+        self, shared_ops, a_ops, b_ops
+    ):
+        a = fresh_store(site=0)
+        b = fresh_store(site=1)
+        # Shared history: replay one op stream into both stores.
+        history = fresh_store(site=2)
+        run_ops(history, shared_ops)
+        for key, entry in history.entries():
+            a.apply_entry(key, entry)
+            b.apply_entry(key, entry)
+        run_ops(a, a_ops)
+        run_ops(b, b_ops)
+        # What a full comparison would examine, and which buckets
+        # actually differ, measured before the exchange mutates anything.
+        union = len(dict(a.entries()).keys() | dict(b.entries()).keys())
+        dirty_entries = sum(
+            max(a.bucket_len(bucket), b.bucket_len(bucket))
+            for bucket in range(a.bucket_count)
+            if a.bucket_checksum(bucket) != b.bucket_checksum(bucket)
+        )
+        report = HierarchicalChecksum().exchange(a, b, ExchangeMode.PUSH_PULL)
+        assert a.agrees_with(b)
+        assert a.checksum == b.checksum
+        assert not report.full_compare
+        # The conversation never examines more than the dirty buckets'
+        # contents (both sides), and never more than a full comparison.
+        assert report.entries_examined <= 2 * dirty_entries
+        assert report.entries_examined <= 2 * union

@@ -48,12 +48,13 @@ class TestVersionCodec:
     def test_defaults_advertise_the_ceiling(self):
         message = Message(MessageType.PUSH, sender=0)
         assert message.version == BASE_VERSION == 1
-        assert message.max_version == PROTOCOL_VERSION == TRACE_WIRE_VERSION == 2
+        assert message.max_version == PROTOCOL_VERSION == 3
+        assert TRACE_WIRE_VERSION == 2
 
     def test_encode_writes_both_version_fields(self):
         body = json.loads(encode_message(Message(MessageType.ACK, 0))[HEADER_BYTES:])
         assert body["v"] == 1
-        assert body["max"] == 2
+        assert body["max"] == PROTOCOL_VERSION
 
     def test_v1_frame_without_max_decodes_as_a_v1_peer(self):
         body = json.dumps(
@@ -170,7 +171,7 @@ class TestOldPeerInterop:
         assert spans[0]["trace"].startswith(f"{KEY}@")
         assert spans[0]["hop"] == 0  # node 0 is the injection origin
 
-    def test_peers_upgrade_each_other_to_v2(self):
+    def test_peers_upgrade_each_other_to_the_ceiling(self):
         async def scenario():
             sink = RingBufferSink()
             cluster = await LiveCluster.launch(3, FAST)
@@ -190,7 +191,7 @@ class TestOldPeerInterop:
         for node_id, peers in versions.items():
             roster_peers = {p: v for p, v in peers.items() if p >= 0}
             assert roster_peers, f"node {node_id} never heard from a peer"
-            assert all(v == TRACE_WIRE_VERSION for v in roster_peers.values())
+            assert all(v == PROTOCOL_VERSION for v in roster_peers.values())
         spans = sink.of_kind(EventKind.DELIVERY_SPAN)
         deliveries = [e for e in spans if e.payload["src"] is not None]
         assert deliveries

@@ -18,6 +18,8 @@ from repro.net.wire import (
     WireError,
     decode_body,
     encode_message,
+    payload_bucket_list,
+    payload_tree_nodes,
     payload_updates,
     read_message,
 )
@@ -166,3 +168,44 @@ class TestPayloadUpdates:
             payload_updates({"updates": [{"key": "k", "entry": {"kind": "mystery"}}]})
         with pytest.raises(WireError, match="updates"):
             payload_updates({"updates": "not-a-list"})
+
+
+class TestPayloadTreeNodes:
+    def test_round_trips_arbitrary_precision_checksums(self):
+        nodes = [[1, 2 ** 127 + 5], [63, 0]]
+        payload = json.loads(json.dumps({"nodes": nodes}))
+        assert payload_tree_nodes(payload) == [(1, 2 ** 127 + 5), (63, 0)]
+
+    def test_missing_field_defaults_empty(self):
+        assert payload_tree_nodes({}) == []
+        assert payload_tree_nodes({"frontier": [[2, 7]]}, "frontier") == [(2, 7)]
+
+    @pytest.mark.parametrize(
+        "nodes",
+        [
+            "zip",                  # not a list at all
+            [[1]],                  # wrong arity
+            [[0, 5]],               # node ids start at 1
+            [[1, -1]],              # negative checksum
+            [["1", 5]],             # stringly-typed id
+            [[True, 5]],            # bool is not a node id
+            [[1, True]],            # ... nor a checksum
+            [{"node": 1}],          # wrong shape
+        ],
+    )
+    def test_garbage_becomes_wire_error(self, nodes):
+        with pytest.raises(WireError, match="nodes"):
+            payload_tree_nodes({"nodes": nodes})
+
+
+class TestPayloadBucketList:
+    def test_round_trips(self):
+        payload = json.loads(json.dumps({"dirty": [0, 5, 63]}))
+        assert payload_bucket_list(payload) == [0, 5, 63]
+        assert payload_bucket_list({}) == []
+        assert payload_bucket_list({"buckets": [3]}, "buckets") == [3]
+
+    @pytest.mark.parametrize("buckets", ["zip", [-1], [1.5], [True], [[0]]])
+    def test_garbage_becomes_wire_error(self, buckets):
+        with pytest.raises(WireError, match="dirty"):
+            payload_bucket_list({"dirty": buckets})
