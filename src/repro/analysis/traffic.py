@@ -19,7 +19,7 @@ verified numerically.
 from __future__ import annotations
 
 import math
-from typing import List
+from typing import Any, Dict, List
 
 
 def line_traffic_per_link(n: int, a: float) -> List[float]:
@@ -91,3 +91,35 @@ def theoretical_growth(n: int, a: float) -> float:
     if a == 2:
         return math.log(n)
     return 1.0
+
+
+def wan_traffic_summary(wan, traffic) -> Dict[str, Any]:
+    """Measured traffic attributed to a WAN deployment's named links.
+
+    ``wan`` is a :class:`repro.workload.geo.WanNetwork` and ``traffic``
+    the :class:`repro.sim.metrics.LinkTraffic` a cluster accumulated on
+    its topology.  Returns the per-link rows (long-haul ``wan:*`` links
+    and ``intra:<dc>`` rollups) plus ``wan_share``: the fraction of all
+    conversation link-crossings that happen on long-haul links — the
+    number the paper's Section 3 spatial distributions exist to push
+    down.
+    """
+    links = wan.link_report(traffic)
+    wan_conversations = sum(
+        row["conversations"] for row in links if str(row["link"]).startswith("wan:")
+    )
+    total_conversations = float(traffic.compare.total)
+    busiest = max(
+        (row for row in links if str(row["link"]).startswith("wan:")),
+        key=lambda row: row["conversations"],
+        default=None,
+    )
+    return {
+        "links": links,
+        "wan_conversations": round(wan_conversations, 3),
+        "wan_share": round(
+            wan_conversations / total_conversations if total_conversations else 0.0,
+            4,
+        ),
+        "busiest_wan_link": None if busiest is None else busiest["link"],
+    }

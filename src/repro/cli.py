@@ -330,6 +330,86 @@ def cmd_live_demo(args) -> None:
         raise SystemExit(1)
 
 
+def cmd_workload(args) -> None:
+    """``workload``: steady-state traffic through sim and/or live runs.
+
+    By default runs BOTH the simulator harness (optionally with the
+    3-datacenter WAN model) and a live localhost cluster under the same
+    operation mix, and prints both ``repro-workload/1`` reports — the
+    schemas are identical, only the time units differ (cycles vs
+    seconds).  ``--rate`` is operations per cycle in the simulator and
+    operations per second live.
+    """
+    import json
+
+    from repro.workload.generators import ClientPool, WorkloadConfig
+    from repro.workload.geo import three_datacenters
+    from repro.workload.steady import (
+        SteadyStateConfig,
+        run_steady_state,
+        summary_lines,
+    )
+
+    workload = WorkloadConfig(
+        updates_per_cycle=args.rate,
+        key_space=args.key_space,
+        zipf_s=args.zipf,
+        read_fraction=args.read_fraction,
+        delete_fraction=args.delete_fraction,
+    )
+    pool = ClientPool() if args.closed_loop else None
+    reports: Dict[str, Dict] = {}
+    if args.runtime in ("sim", "both"):
+        wan = None
+        if args.wan:
+            per_dc = max(args.nodes // 3, 1)
+            extra = max(args.nodes - 3 * per_dc, 0)
+            wan = three_datacenters(
+                sites_per_dc=(per_dc + extra, per_dc, per_dc)
+            )
+        reports["sim"] = run_steady_state(
+            SteadyStateConfig(
+                workload=workload,
+                n=args.nodes,
+                wan=wan,
+                cycles=args.cycles,
+                window=max(1, min(args.cycles // 10, args.cycles)),
+                seed=args.seed,
+                pool=pool,
+            )
+        )
+    if args.runtime in ("live", "both"):
+        from repro.workload.live import (
+            LiveWorkloadConfig,
+            run_live_workload_sync,
+        )
+
+        reports["live"] = run_live_workload_sync(
+            LiveWorkloadConfig(
+                workload=workload,
+                nodes=max(args.nodes, 3),
+                duration=args.duration,
+                window=max(args.duration / 4.0, 0.25),
+                seed=args.seed,
+                node_config=_node_config(args),
+                quiesce_timeout=args.time_limit,
+            )
+        )
+    if args.curves_out is not None:
+        with open(args.curves_out, "w", encoding="utf-8") as handle:
+            json.dump(reports, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.json:
+        print(json.dumps(reports, indent=2, sort_keys=True))
+    else:
+        print("steady-state workload: generated traffic, measured curves")
+        for report in reports.values():
+            print("\n".join(summary_lines(report)))
+    for report in reports.values():
+        if not report["converged_after_quiesce"]:
+            raise SystemExit(1)
+
+
 def cmd_status(args) -> None:
     import asyncio
     import json
@@ -377,6 +457,7 @@ LIVE_COMMANDS: Dict[str, Callable] = {
     "live-demo": cmd_live_demo,
     "node": cmd_node,
     "status": cmd_status,
+    "workload": cmd_workload,
 }
 
 #: Meta commands: aggregates and tooling, also excluded from ``all``
@@ -429,8 +510,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="bench: shrink every scenario for a CI smoke run",
     )
     bench.add_argument(
-        "--bench-output", default=None, metavar="PATH",
-        help="bench: report path (default BENCH_<date>.json in the CWD)",
+        "--bench-output", "--output", dest="bench_output",
+        default=None, metavar="PATH",
+        help="bench: report path (default BENCH_<date>.json in the CWD; "
+        "an existing same-day report falls back to BENCH_<date>-2.json)",
     )
     bench.add_argument(
         "--compare", default=None, metavar="BASELINE",
@@ -440,6 +523,59 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-regression", type=float, default=2.0, metavar="FACTOR",
         help="bench: allowed wall-clock growth factor for --compare "
         "(default 2.0)",
+    )
+    work = parser.add_argument_group("workload (steady-state traffic)")
+    work.add_argument(
+        "--runtime", choices=["sim", "live", "both"], default="both",
+        help="workload: which runtime(s) to drive (default both)",
+    )
+    work.add_argument(
+        "--rate", type=float, default=8.0,
+        help="workload: operation rate — per cycle in the simulator, "
+        "per second live (default 8)",
+    )
+    work.add_argument(
+        "--cycles", type=int, default=60,
+        help="workload: simulated cycles of sustained injection (default 60)",
+    )
+    work.add_argument(
+        "--duration", type=float, default=4.0,
+        help="workload: live injection duration in seconds (default 4)",
+    )
+    work.add_argument(
+        "--key-space", type=int, default=50,
+        help="workload: number of distinct keys (default 50)",
+    )
+    work.add_argument(
+        "--zipf", type=float, default=1.1,
+        help="workload: Zipf skew of key popularity, 0 = uniform (default 1.1)",
+    )
+    work.add_argument(
+        "--read-fraction", type=float, default=0.3,
+        help="workload: fraction of operations that are staleness-sampling "
+        "reads (default 0.3)",
+    )
+    work.add_argument(
+        "--delete-fraction", type=float, default=0.05,
+        help="workload: fraction of operations that are deletions (default 0.05)",
+    )
+    work.add_argument(
+        "--wan", action="store_true",
+        help="workload: run the simulator over the 3-datacenter WAN model "
+        "(latency matrix + bandwidth caps) instead of a uniform network",
+    )
+    work.add_argument(
+        "--closed-loop", action="store_true",
+        help="workload: closed-loop client pool with think times instead of "
+        "open-loop Poisson arrivals",
+    )
+    work.add_argument(
+        "--seed", type=int, default=0,
+        help="workload: master seed for the generators (default 0)",
+    )
+    work.add_argument(
+        "--curves-out", default=None, metavar="PATH",
+        help="workload: also write the full reports (curves included) as JSON",
     )
     live = parser.add_argument_group("live runtime (live-demo, node)")
     live.add_argument(

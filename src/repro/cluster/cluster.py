@@ -86,6 +86,10 @@ class Cluster:
             )
         self.protocols: List = []
         self.traffic = LinkTraffic()
+        # Optional WAN model (repro.workload.geo.WanNetwork): per-cycle
+        # link budgets gate conversations, and traffic charges the
+        # capped links' ledgers.  None on non-geo topologies.
+        self.wan = None
         self.metrics: Optional[EpidemicMetrics] = None
         self._tracked: Optional[StoreUpdate] = None
         self._observers: List[NewsObserver] = []
@@ -221,13 +225,33 @@ class Cluster:
         site_b = self.sites.get(b)
         if site_a is None or site_b is None or not (site_a.up and site_b.up):
             return False
-        if self._partition is None:
-            return True
-        return self._partition.get(a, -1) == self._partition.get(b, -1)
+        if self._partition is not None and (
+            self._partition.get(a, -1) != self._partition.get(b, -1)
+        ):
+            return False
+        if self.wan is not None and not self.wan.conversation_allowed(a, b):
+            return False
+        return True
 
     def add_protocol(self, protocol) -> "Cluster":
         protocol.attach(self)
         self.protocols.append(protocol)
+        return self
+
+    def attach_wan(self, wan) -> "Cluster":
+        """Enforce a WAN model's per-cycle link budgets on this cluster.
+
+        ``wan`` is a :class:`repro.workload.geo.WanNetwork` whose
+        topology this cluster was built on.  Once attached, a
+        conversation that would overrun a capped WAN link's per-cycle
+        budget is refused (the initiator hunts for another partner —
+        usually one in its own datacenter), and every conversation and
+        update shipment charges the budgets it crosses.
+        """
+        if wan.topology is not self.topology:
+            raise ValueError("the cluster must be built on the WAN's topology")
+        self.wan = wan
+        wan.reset_cycle()
         return self
 
     def add_observer(self, observer: NewsObserver) -> None:
@@ -423,6 +447,8 @@ class Cluster:
             self.metrics.record_comparison()
         if self._routable:
             self.traffic.compare.add_edges(self.topology.path_edges(src, dst))
+        if self.wan is not None:
+            self.wan.note_conversation(src, dst)
 
     def count_update_sends(self, src: int, dst: int, count: int = 1) -> None:
         """Record ``count`` update transmissions from ``src`` to ``dst``."""
@@ -432,6 +458,8 @@ class Cluster:
             self.metrics.record_update_send(count)
         if self._routable:
             self.traffic.update.add_edges(self.topology.path_edges(src, dst), count)
+        if self.wan is not None:
+            self.wan.note_updates(src, dst, count)
 
     def count_useful_update_send(self, src: int, dst: int, count: int = 1) -> None:
         """Record ``count`` update transmissions the receiver needed
@@ -456,6 +484,8 @@ class Cluster:
         """Advance one cycle: deliver scheduled events, then run protocols."""
         self.cycle += 1
         self.simulator.run(until=float(self.cycle))
+        if self.wan is not None:
+            self.wan.reset_cycle()
         for protocol in self.protocols:
             protocol.run_cycle(self.cycle)
         if self.metrics is not None:

@@ -17,7 +17,12 @@ centers:
   in 1% of its keys, resolved once by the hierarchical-checksum
   drill-down and once by the naive full comparison; the recorded
   ``examined_ratio`` is the entries-examined saving the checksum tree
-  buys at scale (``--quick`` shrinks to 20k keys).
+  buys at scale (``--quick`` shrinks to 20k keys);
+* **workload-steady** — the production-traffic harness
+  (:mod:`repro.workload.steady`): sustained mixed write/read/delete
+  load on a uniform network with staleness sampling and curve windows;
+* **workload-wan-3dc** — the same harness over the 3-datacenter WAN
+  model (per-link latency, bandwidth caps, long-haul attribution).
 
 Three targeted measurements ride along: the parallel-over-serial
 speedup of the trial runner on this machine, a per-conversation
@@ -166,6 +171,85 @@ def _bench_live_demo(quick: bool) -> ScenarioTiming:
 
     elapsed, trials, detail = _timed(work)
     return ScenarioTiming("live-demo", elapsed, trials, detail)
+
+
+def _bench_workload_steady(quick: bool) -> ScenarioTiming:
+    """The steady-state workload harness: sustained mixed traffic on a
+    uniform network, staleness sampling and curve windows included."""
+    from repro.workload.generators import WorkloadConfig
+    from repro.workload.steady import SteadyStateConfig, run_steady_state
+
+    n = 16 if quick else 48
+    cycles = 30 if quick else 120
+    rate = 6.0 if quick else 24.0
+
+    def work() -> Tuple[int, Dict[str, Any]]:
+        report = run_steady_state(
+            SteadyStateConfig(
+                workload=WorkloadConfig(
+                    updates_per_cycle=rate,
+                    key_space=64,
+                    zipf_s=1.1,
+                    read_fraction=0.3,
+                    delete_fraction=0.05,
+                ),
+                n=n,
+                cycles=cycles,
+                window=max(cycles // 10, 1),
+                seed=1987,
+            )
+        )
+        return report["ops"]["total"], {
+            "n": n,
+            "cycles": cycles,
+            "throughput": report["throughput"]["mean"],
+            "staleness_p99": report["staleness"]["p99"],
+            "converged": report["converged_after_quiesce"],
+        }
+
+    elapsed, trials, detail = _timed(work)
+    return ScenarioTiming("workload-steady", elapsed, trials, detail)
+
+
+def _bench_workload_wan(quick: bool) -> ScenarioTiming:
+    """The same harness over the 3-datacenter WAN model: per-link
+    latency, bandwidth caps, and long-haul traffic attribution."""
+    from repro.workload.generators import WorkloadConfig
+    from repro.workload.geo import three_datacenters
+    from repro.workload.steady import SteadyStateConfig, run_steady_state
+
+    per_dc = 4 if quick else 10
+    cycles = 30 if quick else 100
+    rate = 6.0 if quick else 20.0
+
+    def work() -> Tuple[int, Dict[str, Any]]:
+        report = run_steady_state(
+            SteadyStateConfig(
+                workload=WorkloadConfig(
+                    updates_per_cycle=rate,
+                    key_space=64,
+                    zipf_s=1.1,
+                    read_fraction=0.3,
+                    delete_fraction=0.05,
+                ),
+                wan=three_datacenters(sites_per_dc=(per_dc,) * 3),
+                cycles=cycles,
+                window=max(cycles // 10, 1),
+                seed=1987,
+            )
+        )
+        return report["ops"]["total"], {
+            "sites_per_dc": per_dc,
+            "cycles": cycles,
+            "throughput": report["throughput"]["mean"],
+            "staleness_p99": report["staleness"]["p99"],
+            "wan_share": report["traffic"]["wan_share"],
+            "busiest_wan_link": report["traffic"]["busiest_wan_link"],
+            "converged": report["converged_after_quiesce"],
+        }
+
+    elapsed, trials, detail = _timed(work)
+    return ScenarioTiming("workload-wan-3dc", elapsed, trials, detail)
 
 
 def _bench_million_key(quick: bool) -> ScenarioTiming:
@@ -423,6 +507,8 @@ def run_bench(
         ("rumor-push-k2", lambda: _bench_rumor(quick)),
         ("live-demo", lambda: _bench_live_demo(quick)),
         ("million-key-hierarchical", lambda: _bench_million_key(quick)),
+        ("workload-steady", lambda: _bench_workload_steady(quick)),
+        ("workload-wan-3dc", lambda: _bench_workload_wan(quick)),
     ):
         say(f"bench: {name} ...")
         scenarios.append(fn())
@@ -450,8 +536,22 @@ def run_bench(
 def write_report(
     report: Dict[str, Any], path: Optional[str] = None
 ) -> pathlib.Path:
-    """Write the report; default name ``BENCH_<date>.json`` in the CWD."""
-    target = pathlib.Path(path) if path else pathlib.Path(f"BENCH_{report['date']}.json")
+    """Write the report; default name ``BENCH_<date>.json`` in the CWD.
+
+    An explicit ``path`` is always honored (and overwritten).  With the
+    default name, an existing same-day report is never clobbered: the
+    writer falls back to ``BENCH_<date>-2.json``, ``-3``, ... so two
+    runs on one day both stay in history.
+    """
+    if path:
+        target = pathlib.Path(path)
+    else:
+        stem = f"BENCH_{report['date']}"
+        target = pathlib.Path(f"{stem}.json")
+        suffix = 2
+        while target.exists():
+            target = pathlib.Path(f"{stem}-{suffix}.json")
+            suffix += 1
     target.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     return target
 

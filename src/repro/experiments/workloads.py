@@ -1,21 +1,23 @@
-"""Synthetic update workloads and the steady-state checksum study.
+"""The steady-state checksum study (and the workload shim behind it).
 
 The paper's tables track one update at a time; a deployed
-Clearinghouse sees a continuous stream.  Two things only show up under
-sustained load, both studied here:
+Clearinghouse sees a continuous stream.  Sustained load is what makes
+the **choice of tau** for the checksum + recent-update-list exchange
+matter (Section 1.3): tau must exceed the expected update distribution
+time or "checksum comparisons will usually fail and network traffic
+will rise to a level slightly higher than what would be produced by
+anti-entropy without checksums".
 
-* the **choice of tau** for the checksum + recent-update-list
-  anti-entropy exchange (Section 1.3): tau must exceed the expected
-  update distribution time or "checksum comparisons will usually fail
-  and network traffic will rise to a level slightly higher than what
-  would be produced by anti-entropy without checksums";
-* steady-state traffic scaling with the update rate.
+Workload generation itself now lives in :mod:`repro.workload` — true
+Poisson arrivals, Zipf popularity, read/delete mixes, open- and
+closed-loop modes.  :class:`WorkloadConfig` and :class:`WorkloadDriver`
+are re-exported here for compatibility; existing callers (and the tau
+study below) run unchanged on the new machinery.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import random
 from typing import List, Optional, Sequence
 
 from repro.cluster.cluster import Cluster
@@ -24,88 +26,16 @@ from repro.protocols.anti_entropy import AntiEntropyConfig, AntiEntropyProtocol
 from repro.protocols.base import ExchangeMode
 from repro.protocols.exchange import ChecksumWithRecent
 from repro.sim.rng import derive_seed
+from repro.workload.driver import WorkloadDriver
+from repro.workload.generators import WorkloadConfig
 
-
-@dataclasses.dataclass(frozen=True, slots=True)
-class WorkloadConfig:
-    """A continuous client workload.
-
-    ``updates_per_cycle`` is the mean of a Poisson-like arrival process
-    (binomial over sites); keys are drawn from ``key_space`` names with
-    popularity skew ``zipf_s`` (0 = uniform); a ``delete_fraction`` of
-    operations are deletions.
-    """
-
-    updates_per_cycle: float = 2.0
-    key_space: int = 100
-    zipf_s: float = 0.0
-    delete_fraction: float = 0.0
-
-    def __post_init__(self) -> None:
-        if self.updates_per_cycle < 0:
-            raise ValueError("updates_per_cycle must be non-negative")
-        if self.key_space < 1:
-            raise ValueError("key_space must be positive")
-        if self.zipf_s < 0:
-            raise ValueError("zipf_s must be non-negative")
-        if not 0.0 <= self.delete_fraction < 1.0:
-            raise ValueError("delete_fraction must be in [0, 1)")
-
-
-class WorkloadDriver:
-    """Injects a :class:`WorkloadConfig` into a cluster, cycle by cycle."""
-
-    def __init__(self, cluster: Cluster, config: WorkloadConfig, seed: int = 0):
-        self.cluster = cluster
-        self.config = config
-        self._rng = random.Random(derive_seed(seed, "workload"))
-        self._sequence = 0
-        # Precompute the key-popularity CDF.
-        weights = [
-            (rank + 1) ** (-config.zipf_s) for rank in range(config.key_space)
-        ]
-        total = sum(weights)
-        cumulative = 0.0
-        self._cdf: List[float] = []
-        for weight in weights:
-            cumulative += weight / total
-            self._cdf.append(cumulative)
-        self.operations = 0
-        self.deletes = 0
-
-    def _pick_key(self) -> str:
-        import bisect
-
-        index = bisect.bisect_left(self._cdf, self._rng.random())
-        return f"key-{min(index, self.config.key_space - 1)}"
-
-    def inject_one_cycle(self) -> int:
-        """Inject this cycle's client operations; returns how many."""
-        count = 0
-        up = self.cluster.up_site_ids()
-        if not up:
-            return 0
-        # Binomial arrivals approximating Poisson(updates_per_cycle).
-        expected = self.config.updates_per_cycle
-        whole = int(expected)
-        count = whole + (1 if self._rng.random() < expected - whole else 0)
-        for __ in range(count):
-            site = self._rng.choice(up)
-            key = self._pick_key()
-            self.operations += 1
-            if self._rng.random() < self.config.delete_fraction:
-                self.cluster.inject_delete(site, key)
-                self.deletes += 1
-            else:
-                self._sequence += 1
-                self.cluster.inject_update(site, key, f"value-{self._sequence}")
-        return count
-
-    def run(self, cycles: int) -> None:
-        """Interleave injection with cluster cycles."""
-        for __ in range(cycles):
-            self.inject_one_cycle()
-            self.cluster.run_cycle()
+__all__ = [
+    "WorkloadConfig",
+    "WorkloadDriver",
+    "SteadyStateResult",
+    "run_tau_point",
+    "checksum_tau_experiment",
+]
 
 
 @dataclasses.dataclass(slots=True)

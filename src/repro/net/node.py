@@ -955,10 +955,29 @@ class GossipNode:
 
     def _handle_mail(self, message: Message) -> Message:
         payload = message.payload
+        if "read" in payload:
+            # Client read: this replica's current view of one key, with
+            # the entry's timestamp so a load generator can measure how
+            # far behind the globally latest write this node is.
+            entry = self.store.entry(payload["read"])
+            if entry is None:
+                return self._ack({"found": False, "timestamp": None})
+            return self._ack(
+                {
+                    "found": True,
+                    "deleted": entry.is_deletion,
+                    "timestamp": encode_timestamp(entry.timestamp),
+                    "value": None if entry.is_deletion else entry.value,
+                }
+            )
         if "key" in payload:
             # Client injection: stamp with this node's clock and start
             # spreading (the paper's "update at the originating site").
-            update = self.inject(payload["key"], payload.get("value"))
+            # ``delete`` issues a death certificate instead of a write.
+            if payload.get("delete"):
+                update = self.delete(payload["key"])
+            else:
+                update = self.inject(payload["key"], payload.get("value"))
             return self._ack(
                 {"applied": True, "timestamp": encode_timestamp(update.timestamp)}
             )

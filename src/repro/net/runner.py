@@ -147,6 +147,28 @@ class LiveCluster:
             )
         )
 
+    async def delete_key(self, node_id: int, key: str) -> Message:
+        """Client delete, over TCP: the node issues a death certificate."""
+        return await self._probe_peer(node_id).call(
+            Message(
+                type=MessageType.MAIL,
+                sender=CLIENT_ID,
+                payload={"key": key, "delete": True},
+            )
+        )
+
+    async def read(self, node_id: int, key: str) -> Dict[str, Any]:
+        """Client read, over TCP: one node's current view of ``key``
+        (``found``, ``timestamp``, ``value``), without touching gossip."""
+        reply = await self._probe_peer(node_id).call(
+            Message(
+                type=MessageType.MAIL,
+                sender=CLIENT_ID,
+                payload={"read": key},
+            )
+        )
+        return reply.payload
+
     async def probe(self, node_id: int) -> Dict[str, Any]:
         """CHECKSUM status probe of one node."""
         reply = await self._probe_peer(node_id).call(

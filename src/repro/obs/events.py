@@ -65,6 +65,10 @@ class EventKind(enum.Enum):
     REJECTION = "rejection"
     PEER_RETRY = "peer-retry"
     PEER_FAILURE = "peer-failure"
+    # Workload (repro.workload): staleness-sampling reads and the
+    # per-window steady-state summaries behind the curve outputs.
+    READ_SAMPLED = "read-sampled"
+    WORKLOAD_WINDOW = "workload-window"
 
 
 _KINDS_BY_VALUE = {kind.value: kind for kind in EventKind}

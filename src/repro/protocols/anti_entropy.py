@@ -267,6 +267,12 @@ class AntiEntropyProtocol(Protocol):
             self._fire_transfer(partner_id, site_id, update, ApplyResult.APPLIED)
         cluster.count_update_sends(site_id, partner_id, len(report.sent_ab))
         cluster.count_update_sends(partner_id, site_id, len(report.sent_ba))
+        # Live exchanges resolve differences against current stores, so
+        # every shipped update is one the receiver lacked: all of this
+        # traffic is "useful" in Table 4's sense (unlike the synchronous
+        # path, where stale snapshots can ship redundant copies).
+        cluster.count_useful_update_send(site_id, partner_id, len(report.sent_ab))
+        cluster.count_useful_update_send(partner_id, site_id, len(report.sent_ba))
 
     def _fire_transfer(
         self, source: int, target: int, update: StoreUpdate, result: ApplyResult

@@ -11,6 +11,10 @@ are exactly the failure modes modeled here:
 * each message is independently lost in transit with probability
   ``loss_probability`` (**unreachable destination / transport loss**);
 * delivery takes ``latency`` simulated time units (default: one cycle).
+  ``latency`` may instead be a *delay model* — any object with a
+  ``delay(source, destination, now, size=1)`` method, such as
+  :class:`repro.workload.geo.WanNetwork` — so cross-datacenter mail
+  pays per-link WAN latency and queues behind bandwidth caps.
 
 The mail system drives deliveries through the discrete-event engine so
 direct mail interleaves naturally with cycle-based epidemics.
@@ -20,10 +24,20 @@ from __future__ import annotations
 
 import dataclasses
 from collections import deque
-from typing import Any, Callable, Deque, Dict, Optional
+from typing import Any, Callable, Deque, Dict, Optional, Protocol, Union
 
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
+
+
+class DelayModel(Protocol):
+    """Anything that can price a delivery: per-pair latency, queuing."""
+
+    def delay(
+        self, source: int, destination: int, now: float, size: float = 1.0
+    ) -> float:
+        """Delivery delay for a message posted at ``now``."""
+        ...  # pragma: no cover - protocol definition
 
 
 @dataclasses.dataclass(slots=True)
@@ -90,11 +104,11 @@ class MailSystem:
         rng: RngRegistry,
         loss_probability: float = 0.0,
         mailbox_capacity: Optional[int] = None,
-        latency: float = 1.0,
+        latency: Union[float, DelayModel] = 1.0,
     ):
         if not 0.0 <= loss_probability <= 1.0:
             raise ValueError("loss_probability must be in [0, 1]")
-        if latency < 0:
+        if isinstance(latency, (int, float)) and latency < 0:
             raise ValueError("latency must be non-negative")
         self.simulator = simulator
         self._rng = rng.stream("mail")
@@ -131,7 +145,18 @@ class MailSystem:
         if self._rng.random() < self.loss_probability:
             self.stats.dropped_loss += 1
             return
-        self.simulator.schedule(self.latency, lambda: self._deliver(letter))
+        self.simulator.schedule(
+            self._delay(source, destination), lambda: self._deliver(letter)
+        )
+
+    def _delay(self, source: int, destination: int) -> float:
+        """The delivery delay for this posting: a scalar, or whatever
+        the attached delay model prices the (source, destination) trip
+        at right now (WAN latency plus any transmission queue)."""
+        latency = self.latency
+        if isinstance(latency, (int, float)):
+            return float(latency)
+        return latency.delay(source, destination, self.simulator.now)
 
     def receive(self, site: int) -> list[Letter]:
         """Drain a site's mailbox (poll-style reception)."""

@@ -15,7 +15,9 @@ and must be reset at each cycle boundary by the cluster driver.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+Edge = Tuple[int, int]
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -92,3 +94,50 @@ class ConnectionLedger:
             if self.try_connect(partner):
                 return partner
         return None
+
+
+class LinkCapacityLedger:
+    """Per-cycle message budgets on capacity-capped links.
+
+    The link-level sibling of :class:`ConnectionLedger`: where that
+    class bounds how many conversations a *site* accepts per cycle,
+    this one bounds how many messages a *link* carries per cycle — the
+    WAN model's bandwidth caps (:mod:`repro.workload.geo`).  Links
+    absent from ``capacities`` are uncapped and never counted.  Must be
+    reset at each cycle boundary, like the connection ledger.
+    """
+
+    __slots__ = ("capacities", "_used", "refusals")
+
+    def __init__(self, capacities: Mapping[Edge, float]):
+        for edge, capacity in capacities.items():
+            if capacity <= 0:
+                raise ValueError(f"capacity on link {edge} must be positive")
+        self.capacities = dict(capacities)
+        self._used: Dict[Edge, float] = {}
+        self.refusals = 0
+
+    def reset(self) -> None:
+        """Start a new cycle: every link's budget is whole again."""
+        self._used.clear()
+
+    def used(self, edge: Edge) -> float:
+        return self._used.get(edge, 0.0)
+
+    def would_admit(self, edges: Iterable[Edge], cost: float = 1.0) -> bool:
+        """Whether ``cost`` more messages fit on every capped edge of a
+        route this cycle.  Counts a refusal when they do not."""
+        for edge in edges:
+            capacity = self.capacities.get(edge)
+            if capacity is None:
+                continue
+            if self._used.get(edge, 0.0) + cost > capacity:
+                self.refusals += 1
+                return False
+        return True
+
+    def charge(self, edges: Iterable[Edge], cost: float = 1.0) -> None:
+        """Record ``cost`` messages on every capped edge of a route."""
+        for edge in edges:
+            if edge in self.capacities:
+                self._used[edge] = self._used.get(edge, 0.0) + cost

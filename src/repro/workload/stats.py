@@ -1,0 +1,147 @@
+"""Steady-state measurement: staleness distributions and curve series.
+
+A sustained workload is summarized by a handful of observables —
+throughput, read-staleness percentiles, residue over time, per-link
+traffic — sampled both as running totals and as per-window curve
+points.  The staleness distribution is kept as a bounded reservoir
+(Vitter's Algorithm R, driven by the workload RNG so runs stay
+deterministic under a seed) plus exact count/sum/max, so percentile
+estimates cost O(capacity) memory however long the run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """The ``q``-quantile (0..1) of an already sorted sample, by linear
+    interpolation between closest ranks.  Empty input returns 0.0."""
+    if not sorted_values:
+        return 0.0
+    if q <= 0:
+        return float(sorted_values[0])
+    if q >= 1:
+        return float(sorted_values[-1])
+    position = q * (len(sorted_values) - 1)
+    low = int(position)
+    high = min(low + 1, len(sorted_values) - 1)
+    fraction = position - low
+    return float(
+        sorted_values[low] * (1.0 - fraction) + sorted_values[high] * fraction
+    )
+
+
+class ReservoirSample:
+    """A fixed-capacity uniform sample of an unbounded stream."""
+
+    __slots__ = ("capacity", "count", "total", "maximum", "_rng", "_sample")
+
+    def __init__(self, capacity: int = 8192, rng: Optional[random.Random] = None):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.count = 0
+        self.total = 0.0
+        self.maximum = 0.0
+        self._rng = rng if rng is not None else random.Random(0)
+        self._sample: List[float] = []
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value > self.maximum:
+            self.maximum = value
+        if len(self._sample) < self.capacity:
+            self._sample.append(value)
+            return
+        slot = self._rng.randrange(self.count)
+        if slot < self.capacity:
+            self._sample[slot] = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        return percentile(sorted(self._sample), q)
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "mean": round(self.mean, 6),
+            "p50": round(self.percentile(0.50), 6),
+            "p99": round(self.percentile(0.99), 6),
+            "max": round(self.maximum, 6),
+        }
+
+
+@dataclasses.dataclass(slots=True)
+class WindowPoint:
+    """One curve sample: the state of the run over one window."""
+
+    t: float                      # window end (cycles in sim, seconds live)
+    ops: int                      # operations injected in the window
+    throughput: float             # ops per time unit over the window
+    staleness_p50: float          # over reads sampled in the window
+    staleness_p99: float
+    residue: float                # stale (site, key) fraction at window end
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "t": round(self.t, 6),
+            "ops": self.ops,
+            "throughput": round(self.throughput, 6),
+            "staleness_p50": round(self.staleness_p50, 6),
+            "staleness_p99": round(self.staleness_p99, 6),
+            "residue": round(self.residue, 6),
+        }
+
+
+class WindowSeries:
+    """Accumulates per-window curve points for the steady-state report."""
+
+    __slots__ = ("window", "points", "_ops", "_staleness")
+
+    def __init__(self, window: float):
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+        self.points: List[WindowPoint] = []
+        self._ops = 0
+        self._staleness: List[float] = []
+
+    def note_ops(self, count: int) -> None:
+        self._ops += count
+
+    def note_staleness(self, value: float) -> None:
+        self._staleness.append(value)
+
+    @property
+    def open_samples(self) -> bool:
+        """Whether the current (unclosed) window holds any data."""
+        return self._ops > 0 or bool(self._staleness)
+
+    def close_window(self, t: float, residue: float) -> WindowPoint:
+        """Seal the current window at time ``t`` and start the next."""
+        stale = sorted(self._staleness)
+        point = WindowPoint(
+            t=t,
+            ops=self._ops,
+            throughput=self._ops / self.window,
+            staleness_p50=percentile(stale, 0.50),
+            staleness_p99=percentile(stale, 0.99),
+            residue=residue,
+        )
+        self.points.append(point)
+        self._ops = 0
+        self._staleness = []
+        return point
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "window": self.window,
+            "points": [point.to_dict() for point in self.points],
+        }

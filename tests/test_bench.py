@@ -100,6 +100,28 @@ class TestReportIO:
         path = write_report(_report(date="2026-08-06"))
         assert path.name == "BENCH_2026-08-06.json"
 
+    def test_default_filename_never_clobbers_same_day_report(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        first = write_report(_report(date="2026-08-06"))
+        second = write_report(_report(date="2026-08-06"))
+        third = write_report(_report(date="2026-08-06"))
+        assert first.name == "BENCH_2026-08-06.json"
+        assert second.name == "BENCH_2026-08-06-2.json"
+        assert third.name == "BENCH_2026-08-06-3.json"
+        # All three still exist and load as valid reports.
+        for path in (first, second, third):
+            assert load_report(str(path))["date"] == "2026-08-06"
+
+    def test_explicit_path_still_overwrites(self, tmp_path):
+        target = tmp_path / "bench.json"
+        write_report(_report(date="2026-08-06"), str(target))
+        path = write_report(_report(date="2026-08-07"), str(target))
+        assert path == target
+        assert load_report(str(target))["date"] == "2026-08-07"
+        assert list(tmp_path.iterdir()) == [target]
+
     def test_load_rejects_foreign_json(self, tmp_path):
         path = tmp_path / "other.json"
         path.write_text(json.dumps({"schema": "other/1"}))
