@@ -483,7 +483,12 @@ class Cluster:
     def run_cycle(self) -> None:
         """Advance one cycle: deliver scheduled events, then run protocols."""
         self.cycle += 1
-        self.simulator.run(until=float(self.cycle))
+        # Purely cycle-driven runs (no mail, no timers) keep an empty
+        # heap; skip the event loop and just move the clock.
+        if self.simulator.pending:
+            self.simulator.run(until=float(self.cycle))
+        else:
+            self.simulator.advance_to(float(self.cycle))
         if self.wan is not None:
             self.wan.reset_cycle()
         for protocol in self.protocols:

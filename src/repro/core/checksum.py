@@ -37,9 +37,10 @@ comparisons — never touching agreeing entries.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import json
-from typing import Hashable, Iterable, Iterator, List, Tuple
+from typing import Callable, Hashable, Iterable, Iterator, List, Optional, Tuple
 
 DIGEST_BITS = 128
 _DIGEST_BYTES = DIGEST_BITS // 8
@@ -69,15 +70,25 @@ def encode_key(key: Hashable) -> bytes:
         ) from None
 
 
+@functools.lru_cache(maxsize=65536)
+def _encoded_key_digest(encoded: bytes) -> int:
+    return int.from_bytes(
+        hashlib.blake2b(encoded, digest_size=_DIGEST_BYTES).digest(), "big"
+    )
+
+
 def key_digest(key: Hashable) -> int:
     """128-bit content-determined digest of a key alone.
 
     Used both as the fixed-width key prefix inside :func:`entry_digest`
     and — via its low bits — as the key's bucket assignment in
-    :class:`ChecksumTree`.
+    :class:`ChecksumTree`.  The hash step is memoized on the canonical
+    encoding (safe even for ``1`` vs ``True``, whose encodings differ):
+    a simulation's sites all write the same few keys, so across a
+    thousand stores each key's digest is computed once, not once per
+    site per mutation.
     """
-    h = hashlib.blake2b(encode_key(key), digest_size=_DIGEST_BYTES)
-    return int.from_bytes(h.digest(), "big")
+    return _encoded_key_digest(encode_key(key))
 
 
 def entry_digest_with(kd: int, encoded_entry: bytes) -> int:
@@ -171,9 +182,15 @@ class ChecksumTree:
     buckets by comparing roots and recursing only into differing
     children (:meth:`diff_buckets`); the wire protocol does the same
     drill-down one frontier of nodes per round trip.
+
+    An owner maintaining the tree lazily (the :class:`ReplicaStore`
+    defers digest folding until a checksum is actually read) registers a
+    *refresh hook*: every value-reading method calls it first, so held
+    references stay correct without the owner paying digest costs on
+    writes nobody observes.
     """
 
-    __slots__ = ("bucket_bits", "buckets", "_nodes")
+    __slots__ = ("bucket_bits", "buckets", "_nodes", "_refresh")
 
     def __init__(self, bucket_bits: int = 6):
         if bucket_bits < 0:
@@ -181,6 +198,19 @@ class ChecksumTree:
         self.bucket_bits = bucket_bits
         self.buckets = 1 << bucket_bits
         self._nodes: List[int] = [0] * (2 * self.buckets)
+        self._refresh: Optional[Callable[[], None]] = None
+
+    def set_refresh_hook(self, hook: Optional[Callable[[], None]]) -> None:
+        """Install (or clear) the owner's lazy-maintenance flush.
+
+        The hook must bring the tree up to date via :meth:`apply` and
+        must not read the tree back through the hooked accessors.
+        """
+        self._refresh = hook
+
+    def refresh(self) -> None:
+        if self._refresh is not None:
+            self._refresh()
 
     # -- addressing ----------------------------------------------------
 
@@ -205,12 +235,15 @@ class ChecksumTree:
     @property
     def root(self) -> int:
         """The whole-database checksum (XOR over every bucket)."""
+        self.refresh()
         return self._nodes[1]
 
     def node(self, node_id: int) -> int:
+        self.refresh()
         return self._nodes[node_id]
 
     def bucket_value(self, bucket: int) -> int:
+        self.refresh()
         return self._nodes[self.buckets + bucket]
 
     def apply(self, bucket: int, delta: int) -> None:
@@ -238,6 +271,8 @@ class ChecksumTree:
             raise ValueError(
                 f"cannot diff trees with {self.buckets} vs {other.buckets} buckets"
             )
+        self.refresh()
+        other.refresh()
         dirty: List[int] = []
         comparisons = 0
         stack = [1]
@@ -256,6 +291,7 @@ class ChecksumTree:
 
     def nonzero_buckets(self) -> Iterator[int]:
         """Buckets with a nonzero checksum (i.e. holding entries)."""
+        self.refresh()
         base = self.buckets
         for bucket in range(self.buckets):
             if self._nodes[base + bucket]:
@@ -263,6 +299,8 @@ class ChecksumTree:
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, ChecksumTree):
+            self.refresh()
+            other.refresh()
             return self.buckets == other.buckets and self._nodes == other._nodes
         return NotImplemented
 

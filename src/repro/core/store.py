@@ -115,6 +115,14 @@ class ReplicaStore:
         self._entries: Dict[Hashable, Entry] = {}
         self._dormant: Dict[Hashable, DeathCertificate] = {}
         self._tree = ChecksumTree(bucket_bits)
+        # Checksum maintenance is lazy: mutations record the pre-image
+        # here (key -> entry before the first unflushed change, or None
+        # when absent) and the digest folding happens on the first
+        # checksum read.  Most simulation mutations are never followed
+        # by a checksum read before the next overwrite, and a key
+        # rewritten while dirty costs one delta, not one per write.
+        self._dirty: Dict[Hashable, Entry | None] = {}
+        self._tree.set_refresh_hook(self._flush_checksums)
         # bucket -> keys currently in it; buckets vanish when emptied so
         # a small store never pays for the full bucket range.
         self._bucket_keys: Dict[int, set] = {}
@@ -431,28 +439,50 @@ class ReplicaStore:
 
     def _put(self, key: Hashable, entry: Entry) -> None:
         old = self._entries.get(key)
-        kd = key_digest(key)
-        bucket = self._tree.bucket_of(kd)
-        delta = entry_digest_with(kd, entry.encode())
-        if old is not None:
-            delta ^= entry_digest_with(kd, old.encode())
-        else:
+        if key not in self._dirty:
+            self._dirty[key] = old
+        if old is None:
+            bucket = self._tree.bucket_of(key_digest(key))
             self._bucket_keys.setdefault(bucket, set()).add(key)
-        self._tree.apply(bucket, delta)
         self._entries[key] = entry
         self._index.set(key, entry.timestamp)
 
     def _drop(self, key: Hashable) -> None:
         entry = self._entries.pop(key)
-        kd = key_digest(key)
-        bucket = self._tree.bucket_of(kd)
-        self._tree.apply(bucket, entry_digest_with(kd, entry.encode()))
+        if key not in self._dirty:
+            self._dirty[key] = entry
+        bucket = self._tree.bucket_of(key_digest(key))
         keys = self._bucket_keys.get(bucket)
         if keys is not None:
             keys.discard(key)
             if not keys:
                 del self._bucket_keys[bucket]
         self._index.discard(key)
+
+    def _flush_checksums(self) -> None:
+        """Fold every pending mutation into the checksum tree.
+
+        Runs as the tree's refresh hook, i.e. on the first checksum
+        read after a mutation.  Each dirty key contributes one delta —
+        old digest XOR current digest — so intermediate states of a
+        multiply-rewritten key cancel without ever being hashed.
+        """
+        if not self._dirty:
+            return
+        dirty, self._dirty = self._dirty, {}
+        entries = self._entries
+        tree = self._tree
+        for key, old in dirty.items():
+            current = entries.get(key)
+            if current is old:
+                continue
+            kd = key_digest(key)
+            delta = 0
+            if old is not None:
+                delta ^= entry_digest_with(kd, old.encode())
+            if current is not None:
+                delta ^= entry_digest_with(kd, current.encode())
+            tree.apply(tree.bucket_of(kd), delta)
 
     def snapshot(self) -> Dict[Hashable, Entry]:
         """A shallow copy of the active table (entries are immutable)."""

@@ -47,14 +47,64 @@ def run_rumor_trial(
     max_cycles: int = 1000,
     selector: Optional[PartnerSelector] = None,
     injection_site: int = 0,
+    engine: str = "auto",
 ) -> EpidemicMetrics:
-    """One epidemic to quiescence; returns its metrics."""
+    """One epidemic to quiescence; returns its metrics.
+
+    ``engine`` picks the implementation: ``"batched"`` runs the flat
+    array core (:mod:`repro.sim.batch`), ``"reference"`` the scalar
+    :class:`Cluster` path, and ``"auto"`` (default) the batched core
+    whenever the trial shape allows it — uniform partner selection over
+    the whole population (``selector=None``).  Both engines are
+    bit-for-bit identical; the golden tests hold them equal.
+    """
+    if engine not in ("auto", "batched", "reference"):
+        raise ValueError(f"unknown engine {engine!r}")
+    use_batched = engine == "batched" or (engine == "auto" and selector is None)
+    if use_batched:
+        if selector is not None:
+            raise ValueError("the batched engine requires uniform partner selection")
+        from repro.sim.batch import rumor_trial
+
+        return rumor_trial(
+            n, config, seed, max_cycles=max_cycles, injection_site=injection_site
+        )
     cluster = Cluster(n=n, seed=seed)
     protocol = RumorMongeringProtocol(config, selector=selector)
     cluster.add_protocol(protocol)
     cluster.inject_update(injection_site, "the-key", "the-value", track=True)
     cluster.run_until(lambda: not protocol.active, max_cycles=max_cycles)
     return cluster.metrics
+
+
+def run_anti_entropy_trial(
+    n: int,
+    mode: ExchangeMode = ExchangeMode.PUSH_PULL,
+    seed: int = 0,
+    max_cycles: int = 200,
+    injection_site: int = 0,
+    engine: str = "auto",
+) -> EpidemicMetrics:
+    """One synchronous anti-entropy epidemic run until every site is
+    infected; returns its metrics.  ``engine`` as in
+    :func:`run_rumor_trial` (the batched core covers the unlimited
+    uniform-selection shape both engines are benchmarked on)."""
+    if engine not in ("auto", "batched", "reference"):
+        raise ValueError(f"unknown engine {engine!r}")
+    if engine != "reference":
+        from repro.sim.batch import anti_entropy_trial
+
+        return anti_entropy_trial(
+            n, mode, seed, max_cycles=max_cycles, injection_site=injection_site
+        )
+    from repro.protocols.anti_entropy import AntiEntropyConfig, AntiEntropyProtocol
+
+    cluster = Cluster(n=n, seed=seed)
+    cluster.add_protocol(AntiEntropyProtocol(config=AntiEntropyConfig(mode=mode)))
+    cluster.inject_update(injection_site, "the-key", "the-value", track=True)
+    metrics = cluster.metrics
+    cluster.run_until(lambda: metrics.infected == n, max_cycles=max_cycles)
+    return metrics
 
 
 def rumor_table(
@@ -68,6 +118,7 @@ def rumor_table(
     policy: ConnectionPolicy = UNLIMITED,
     minimization: bool = False,
     runner: Optional[TrialRunner] = None,
+    engine: str = "auto",
 ) -> List[RumorRow]:
     """Run one table: sweep ``k``, average ``runs`` independent trials.
 
@@ -90,7 +141,7 @@ def rumor_table(
         for k in ks
     }
     params = [
-        dict(n=n, config=configs[k], seed=seed * 10_000 + k * 100 + run)
+        dict(n=n, config=configs[k], seed=seed * 10_000 + k * 100 + run, engine=engine)
         for k in ks
         for run in range(runs)
     ]
@@ -112,33 +163,36 @@ def rumor_table(
 
 
 def table1(
-    n: int = 1000, runs: int = 5, seed: int = 1, runner: Optional[TrialRunner] = None
+    n: int = 1000, runs: int = 5, seed: int = 1,
+    runner: Optional[TrialRunner] = None, engine: str = "auto",
 ) -> List[RumorRow]:
     """Push rumor mongering with feedback and counters, k = 1..5."""
     return rumor_table(
         n, ks=range(1, 6), mode=ExchangeMode.PUSH, feedback=True, counter=True,
-        runs=runs, seed=seed, runner=runner,
+        runs=runs, seed=seed, runner=runner, engine=engine,
     )
 
 
 def table2(
-    n: int = 1000, runs: int = 5, seed: int = 2, runner: Optional[TrialRunner] = None
+    n: int = 1000, runs: int = 5, seed: int = 2,
+    runner: Optional[TrialRunner] = None, engine: str = "auto",
 ) -> List[RumorRow]:
     """Push rumor mongering, blind and coin, k = 1..5."""
     return rumor_table(
         n, ks=range(1, 6), mode=ExchangeMode.PUSH, feedback=False, counter=False,
-        runs=runs, seed=seed, runner=runner,
+        runs=runs, seed=seed, runner=runner, engine=engine,
     )
 
 
 def table3(
-    n: int = 1000, runs: int = 5, seed: int = 3, runner: Optional[TrialRunner] = None
+    n: int = 1000, runs: int = 5, seed: int = 3,
+    runner: Optional[TrialRunner] = None, engine: str = "auto",
 ) -> List[RumorRow]:
     """Pull rumor mongering with feedback and counters (footnote
     semantics: any needy recipient resets the counter), k = 1..3."""
     return rumor_table(
         n, ks=range(1, 4), mode=ExchangeMode.PULL, feedback=True, counter=True,
-        runs=runs, seed=seed, runner=runner,
+        runs=runs, seed=seed, runner=runner, engine=engine,
     )
 
 

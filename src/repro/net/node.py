@@ -1064,6 +1064,13 @@ class GossipNode:
     # ------------------------------------------------------------------
 
     async def _call(self, peer: Peer, message: Message) -> Message:
+        # Requests ride at the version negotiated with this peer so far
+        # (BASE_VERSION before the first reply): once a peer has
+        # advertised v4, every subsequent request to it is a binary
+        # frame, not just our replies.
+        version = self.wire_version(peer.node_id)
+        if version > message.version:
+            message = dataclasses.replace(message, version=version)
         self.stats.count_sent(message.type)
         reply = await peer.call(message)
         self.stats.count_received(reply.type)

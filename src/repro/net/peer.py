@@ -78,6 +78,11 @@ class Peer:
     after any failure.  One ``Peer`` serves one conversation at a time
     (an internal lock serializes concurrent callers), matching the
     paper's model of a conversation as an exclusive connection.
+
+    ``bytes_sent`` / ``frames_sent`` count outbound request traffic
+    (framing prefix included) so callers can compare wire formats —
+    the same conversation shrinks when the peer negotiates the binary
+    v4 codec instead of JSON.
     """
 
     def __init__(
@@ -95,6 +100,8 @@ class Peer:
         self.calls = 0
         self.failures = 0        # failed attempts (may be retried)
         self.exhausted = 0       # calls that failed every attempt
+        self.bytes_sent = 0      # request frames, framing prefix included
+        self.frames_sent = 0
 
     @property
     def node_id(self) -> int:
@@ -137,7 +144,10 @@ class Peer:
 
     async def _call_once(self, message: Message) -> Message:
         reader, writer = await self._ensure_connected()
-        writer.write(encode_message(message))
+        frame = encode_message(message)
+        self.bytes_sent += len(frame)
+        self.frames_sent += 1
+        writer.write(frame)
         await asyncio.wait_for(writer.drain(), self.policy.io_timeout)
         reply = await asyncio.wait_for(read_message(reader), self.policy.io_timeout)
         if reply is None:

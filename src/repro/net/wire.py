@@ -24,7 +24,12 @@ v2 changes nothing else: every v1 field keeps its meaning.  v3 adds the
 ``buckets``/``bits`` fields on ``PUSH`` payloads that scope an offer to
 a set of hash buckets; a node never sends either to a peer that has not
 advertised v3, falling back to the v1/v2 exchange instead, so v1 and v2
-peers see exactly the traffic they always did.
+peers see exactly the traffic they always did.  v4 changes the *body
+encoding* only: the same messages travel as MessagePack behind a
+one-byte magic (:mod:`repro.net.binwire`) instead of JSON text.  The
+first body byte (0xC1, impossible in JSON) discriminates, so a v4 node
+decodes both formats and — as with every prior version — writes v4
+bodies only to peers that advertised v4.
 
 Message types map onto the paper's mechanisms:
 
@@ -73,17 +78,21 @@ from typing import Any, Dict, Optional
 from repro.core.serialize import SerializeError
 
 #: Highest wire version this build speaks.
-PROTOCOL_VERSION = 3
+PROTOCOL_VERSION = 4
 #: The version frames are stamped with by default — the floor every
 #: peer understands.
 BASE_VERSION = 1
 #: Versions this decoder accepts.
-SUPPORTED_VERSIONS = frozenset({1, 2, 3})
+SUPPORTED_VERSIONS = frozenset({1, 2, 3, 4})
 #: First version whose payloads may carry per-update trace contexts.
 TRACE_WIRE_VERSION = 2
 #: First version that understands ``TREE`` drill-down frames and
 #: bucket-scoped ``PUSH`` payloads.
 TREE_WIRE_VERSION = 3
+#: First version whose bodies are binary (MessagePack behind a magic
+#: byte, :mod:`repro.net.binwire`) instead of UTF-8 JSON.  Semantically
+#: identical to v3: same message types, same payload fields.
+BINARY_WIRE_VERSION = 4
 
 #: Hard ceiling on one frame's body size (16 MiB).  Full-table offers
 #: for the demo workloads are a few KiB; this bound exists to stop a
@@ -135,18 +144,53 @@ def negotiated_version(message: Message, ours: int = PROTOCOL_VERSION) -> int:
     return min(ours, message.max_version)
 
 
+#: Stable small codes for the binary body's type byte.  Append-only:
+#: codes are wire format, never renumber.
+TYPE_CODES = {
+    MessageType.PUSH: 0,
+    MessageType.PULL_REQUEST: 1,
+    MessageType.PULL_REPLY: 2,
+    MessageType.CHECKSUM: 3,
+    MessageType.RUMOR: 4,
+    MessageType.MAIL: 5,
+    MessageType.STATUS: 6,
+    MessageType.ACK: 7,
+    MessageType.TREE: 8,
+}
+_TYPES_BY_CODE = {code: t for t, code in TYPE_CODES.items()}
+
+
 def encode_message(message: Message, max_frame: int = MAX_FRAME_BYTES) -> bytes:
-    """Encode ``message`` as one length-prefixed frame."""
-    body = json.dumps(
-        {
-            "v": message.version,
-            "max": message.max_version,
-            "type": message.type.value,
-            "sender": message.sender,
-            "payload": message.payload,
-        },
-        separators=(",", ":"),
-    ).encode("utf-8")
+    """Encode ``message`` as one length-prefixed frame.
+
+    Frames stamped at :data:`BINARY_WIRE_VERSION` or later get the
+    binary body; earlier versions keep the UTF-8 JSON body, byte for
+    byte what a v1-v3 build would write.
+    """
+    if message.version >= BINARY_WIRE_VERSION:
+        from repro.net.binwire import BinWireError, encode_binary_body
+
+        try:
+            body = encode_binary_body(
+                message.version,
+                message.max_version,
+                TYPE_CODES[message.type],
+                message.sender,
+                message.payload,
+            )
+        except BinWireError as error:
+            raise WireError(f"cannot encode binary frame: {error}") from None
+    else:
+        body = json.dumps(
+            {
+                "v": message.version,
+                "max": message.max_version,
+                "type": message.type.value,
+                "sender": message.sender,
+                "payload": message.payload,
+            },
+            separators=(",", ":"),
+        ).encode("utf-8")
     if len(body) > max_frame:
         raise WireError(
             f"message of {len(body)} bytes exceeds the {max_frame}-byte frame limit"
@@ -155,7 +199,13 @@ def encode_message(message: Message, max_frame: int = MAX_FRAME_BYTES) -> bytes:
 
 
 def decode_body(body: bytes) -> Message:
-    """Decode one frame body (everything after the length prefix)."""
+    """Decode one frame body (everything after the length prefix).
+
+    The first byte discriminates the format: 0xC1 opens a v4 binary
+    body, anything else is parsed as the JSON object of v1-v3.
+    """
+    if body[:1] == b"\xc1":
+        return _decode_binary_body(body)
     try:
         blob = json.loads(body.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as error:
@@ -188,6 +238,30 @@ def decode_body(body: bytes) -> Message:
         payload=payload,
         version=version,
         max_version=max_version,
+    )
+
+
+def _decode_binary_body(body: bytes) -> Message:
+    from repro.net.binwire import BinWireError, decode_binary_body
+
+    try:
+        version, max_version, type_code, sender, payload = decode_binary_body(body)
+    except BinWireError as error:
+        raise WireError(f"bad binary frame: {error}") from None
+    if version not in SUPPORTED_VERSIONS or version < BINARY_WIRE_VERSION:
+        raise WireError(
+            f"unsupported wire version {version!r} "
+            f"(this node speaks up to {PROTOCOL_VERSION})"
+        )
+    message_type = _TYPES_BY_CODE.get(type_code)
+    if message_type is None:
+        raise WireError(f"unknown message type code {type_code}")
+    return Message(
+        type=message_type,
+        sender=sender,
+        payload=payload,
+        version=version,
+        max_version=max(version, max_version),
     )
 
 

@@ -26,6 +26,11 @@ Two driving modes are provided:
   configurable :class:`ExchangeStrategy` (full compare, checksums with
   recent-update lists, or peel back), which is how a deployment would
   actually run.
+
+The synchronous mode is the *reference* engine: for uniform partner
+selection :func:`repro.sim.batch.anti_entropy_trial` runs the same
+single-update epidemic over flat arrays, bit-for-bit identical — the
+golden tests in ``tests/test_batch_engine.py`` hold the two equal.
 """
 
 from __future__ import annotations
@@ -165,11 +170,11 @@ class AntiEntropyProtocol(Protocol):
             if profiler is not None:
                 with profiler.phase("partner-selection"):
                     partner_id = self.ledger.connect_with_hunting(
-                        lambda s: self._choose_up_partner(s), site_id
+                        self._choose_up_partner, site_id
                     )
             else:
                 partner_id = self.ledger.connect_with_hunting(
-                    lambda s: self._choose_up_partner(s), site_id
+                    self._choose_up_partner, site_id
                 )
             if partner_id is None:
                 self.stats.rejected += 1

@@ -28,6 +28,12 @@ paper explores, all implemented here:
 All decisions within one cycle are based on start-of-cycle state, so a
 site infected during a cycle starts spreading in the next — matching
 the synchronous model underlying the paper's analysis.
+
+This class is the *reference* engine.  For uniform partner selection
+the batched core (:func:`repro.sim.batch.rumor_trial`) runs the same
+design space over flat arrays, bit-for-bit identical — any change to
+the cycle semantics here must be mirrored there, and the golden tests
+in ``tests/test_batch_engine.py`` will catch a divergence.
 """
 
 from __future__ import annotations
@@ -310,7 +316,6 @@ class RumorMongeringProtocol(Protocol):
         snapshot: Dict[int, List[Tuple[Hashable, Entry, int]]],
         events: Dict[Tuple[int, Hashable], _CycleEvents],
     ) -> None:
-        config = self.config
         for site_id, rumor_list in snapshot.items():
             rng = self.cluster.sites[site_id].rng
             for key, entry, __ in rumor_list:

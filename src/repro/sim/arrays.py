@@ -1,0 +1,173 @@
+"""Vector backends for the batched simulator core (:mod:`repro.sim.batch`).
+
+The batched trial engine expresses its per-cycle bookkeeping through the
+small set of primitives below: completing a population of uniform
+partner draws, gathering infection flags at partner indices, masking,
+counting and compressing.  Two interchangeable implementations exist:
+
+* :class:`NumpyBackend` — vectorizes every primitive over the whole
+  site population with numpy arrays (used automatically when numpy is
+  importable);
+* :class:`PythonBackend` — the same operations over plain lists, so the
+  engine runs unchanged on an interpreter without numpy.
+
+Both backends carry integers and booleans only — no floating point —
+so trial results cannot depend on which one ran; the golden
+batched-vs-reference tests exercise both.
+
+Set ``REPRO_PURE_PYTHON=1`` to force the pure-python backend (and the
+pure-python wire codec, see :mod:`repro.net.binwire`) even when the
+accelerator libraries are installed; CI uses this to prove the
+fallbacks.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Sequence
+
+#: Environment variable disabling every optional accelerator library.
+FORCE_PURE_ENV = "REPRO_PURE_PYTHON"
+
+
+def pure_python_forced() -> bool:
+    return os.environ.get(FORCE_PURE_ENV, "").strip() not in ("", "0")
+
+
+class PythonBackend:
+    """The list-based reference implementation of the primitives."""
+
+    name = "python"
+
+    @staticmethod
+    def adjusted_partners(picks: Sequence[int]) -> List[int]:
+        """Complete one uniform draw per site: site ``i`` drew ``pick``
+        in ``[0, n-1)``; a pick at or past its own index skips over
+        itself (the :class:`~repro.topology.spatial.UniformSelector`
+        arithmetic, applied to the whole population at once)."""
+        return [pick + 1 if pick >= own else pick for own, pick in enumerate(picks)]
+
+    @staticmethod
+    def adjusted_partners_at(picks: Sequence[int], owners: Sequence[int]) -> List[int]:
+        """Like :meth:`adjusted_partners` for a sparse initiator set:
+        ``owners[i]`` is the site that drew ``picks[i]``."""
+        return [
+            pick + 1 if pick >= own else pick for pick, own in zip(picks, owners)
+        ]
+
+    @staticmethod
+    def snapshot(flags: bytearray) -> Sequence[int]:
+        """Freeze per-site 0/1 flags as a cycle-start snapshot."""
+        return bytes(flags)
+
+    @staticmethod
+    def push_news(targets: Sequence[int], infected: Sequence[int]) -> List[bool]:
+        """Which of a cycle's push conversations deliver news.
+
+        Conversation ``i`` ships to ``targets[i]``; it is news iff the
+        target was susceptible at the start of the cycle and no earlier
+        conversation this cycle already reached it (conversations run
+        in ascending initiator order, so first occurrence wins)."""
+        seen = set()
+        news = []
+        for t in targets:
+            if infected[t] or t in seen:
+                news.append(False)
+            else:
+                seen.add(t)
+                news.append(True)
+        return news
+
+    @staticmethod
+    def take(flags: Sequence[int], idx: Sequence[int]) -> List[int]:
+        """``flags`` gathered at positions ``idx``."""
+        return [flags[i] for i in idx]
+
+    @staticmethod
+    def and_not(a: Sequence[int], b: Sequence[int]) -> List[bool]:
+        """Elementwise ``a and not b``."""
+        return [bool(x) and not y for x, y in zip(a, b)]
+
+    @staticmethod
+    def count(mask: Sequence[bool]) -> int:
+        return sum(mask)
+
+    @staticmethod
+    def compress(values: Sequence[int], mask: Sequence[bool]) -> List[int]:
+        """``values`` where ``mask`` holds, order preserved."""
+        return [value for value, keep in zip(values, mask) if keep]
+
+
+class NumpyBackend:
+    """Numpy-vectorized primitives; import guarded by :func:`get_backend`."""
+
+    name = "numpy"
+
+    @staticmethod
+    def adjusted_partners(picks: Sequence[int]):
+        import numpy
+
+        arr = numpy.fromiter(picks, dtype=numpy.intp, count=len(picks))
+        own = numpy.arange(len(arr), dtype=numpy.intp)
+        return arr + (arr >= own)
+
+    @staticmethod
+    def adjusted_partners_at(picks: Sequence[int], owners: Sequence[int]):
+        import numpy
+
+        arr = numpy.fromiter(picks, dtype=numpy.intp, count=len(picks))
+        own = numpy.fromiter(owners, dtype=numpy.intp, count=len(arr))
+        return arr + (arr >= own)
+
+    @staticmethod
+    def snapshot(flags: bytearray):
+        import numpy
+
+        return numpy.frombuffer(bytes(flags), dtype=numpy.uint8) != 0
+
+    @staticmethod
+    def push_news(targets, infected) -> List[bool]:
+        import numpy
+
+        t = numpy.asarray(targets)
+        fresh = numpy.logical_not(numpy.asarray(infected)[t])
+        first = numpy.zeros(len(t), dtype=bool)
+        first[numpy.unique(t, return_index=True)[1]] = True
+        return numpy.logical_and(fresh, first).tolist()
+
+    @staticmethod
+    def take(flags, idx):
+        return flags[idx]
+
+    @staticmethod
+    def and_not(a, b):
+        import numpy
+
+        return numpy.logical_and(a, numpy.logical_not(b))
+
+    @staticmethod
+    def count(mask) -> int:
+        import numpy
+
+        return int(numpy.count_nonzero(mask))
+
+    @staticmethod
+    def compress(values, mask) -> List[int]:
+        import numpy
+
+        return numpy.asarray(values)[numpy.asarray(mask)].tolist()
+
+
+def numpy_available() -> bool:
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def get_backend():
+    """The best available backend, honoring ``REPRO_PURE_PYTHON``."""
+    if not pure_python_forced() and numpy_available():
+        return NumpyBackend
+    return PythonBackend

@@ -82,6 +82,34 @@ class Simulator:
         heapq.heappush(self._heap, (time, sequence, callback))
         return Event(time=time, sequence=sequence)
 
+    def schedule_batch(self, delay: float, callbacks: list) -> Event:
+        """Schedule a whole batch of callbacks as ONE heap entry.
+
+        ``callbacks`` is held by reference and iterated only when the
+        event fires, so the caller may keep appending to it until then;
+        appends made *while* the batch is firing are picked up in the
+        same firing.  The mail system uses this to coalesce every
+        letter sharing a delivery instant into a single event instead
+        of one heap push per letter.
+        """
+
+        def fire() -> None:
+            for callback in callbacks:
+                callback()
+
+        return self.schedule(delay, fire)
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward without running anything.
+
+        Only valid when nothing is pending before ``time``; the cluster
+        uses it to skip the event loop entirely on cycles with an empty
+        heap.
+        """
+        if time < self._now:
+            raise ValueError(f"cannot move time backwards (to {time})")
+        self._now = time
+
     def cancel(self, event: Event) -> None:
         """Cancel a previously scheduled event (idempotent)."""
         self._cancelled.add(event.sequence)

@@ -118,6 +118,10 @@ class MailSystem:
         self.stats = MailStats()
         self._mailboxes: Dict[int, Mailbox] = {}
         self._on_delivery: Optional[Callable[[Letter], None]] = None
+        # delivery time -> the not-yet-fired batch of deliveries due
+        # then.  Letters sharing a delivery instant (a direct-mail fanout
+        # is n-1 letters with one latency) ride one engine event.
+        self._open_batches: Dict[float, list] = {}
 
     def mailbox(self, site: int) -> Mailbox:
         box = self._mailboxes.get(site)
@@ -145,9 +149,14 @@ class MailSystem:
         if self._rng.random() < self.loss_probability:
             self.stats.dropped_loss += 1
             return
-        self.simulator.schedule(
-            self._delay(source, destination), lambda: self._deliver(letter)
-        )
+        now = self.simulator.now
+        due = now + self._delay(source, destination)
+        batch = self._open_batches.get(due)
+        if batch is None:
+            batch = [lambda: self._open_batches.pop(due, None)]
+            self._open_batches[due] = batch
+            self.simulator.schedule_batch(due - now, batch)
+        batch.append(lambda: self._deliver(letter))
 
     def _delay(self, source: int, destination: int) -> float:
         """The delivery delay for this posting: a scalar, or whatever

@@ -31,6 +31,48 @@ def derive_seed(master_seed: int, *components: Hashable) -> int:
     return int.from_bytes(h.digest(), "big")
 
 
+def site_seed(master_seed: int, site_id: int) -> int:
+    """The seed of site ``site_id``'s stream under ``master_seed``.
+
+    Exactly the derivation :meth:`RngRegistry.site_stream` uses — the
+    batched trial engine (:mod:`repro.sim.batch`) recreates site
+    streams from this so its draws are bit-identical to a
+    :class:`~repro.cluster.cluster.Cluster` run on the same seed.
+    """
+    return derive_seed(master_seed, "site", site_id)
+
+
+def site_random(master_seed: int, site_id: int) -> random.Random:
+    """A fresh :class:`random.Random` in the same state ``site_stream``
+    would hand out for ``site_id`` before its first draw."""
+    return random.Random(site_seed(master_seed, site_id))
+
+
+class SiteSeeder:
+    """Bulk :func:`site_seed` for one master seed.
+
+    Hashing ``master_seed/'site'`` once and copying the digest state per
+    site roughly halves the derivation cost when thousands of site seeds
+    are needed (the batched trial engine derives one per participating
+    site per trial).  Produces exactly ``site_seed(master_seed, i)``.
+    """
+
+    __slots__ = ("_prefix",)
+
+    def __init__(self, master_seed: int):
+        prefix = hashlib.blake2b(digest_size=8)
+        prefix.update(repr(master_seed).encode("utf-8"))
+        prefix.update(b"/")
+        prefix.update(repr("site").encode("utf-8"))
+        self._prefix = prefix
+
+    def seed(self, site_id: int) -> int:
+        h = self._prefix.copy()
+        h.update(b"/")
+        h.update(repr(site_id).encode("utf-8"))
+        return int.from_bytes(h.digest(), "big")
+
+
 class RngRegistry:
     """Hands out independent named random streams from one master seed."""
 

@@ -96,6 +96,31 @@ class ConnectionLedger:
         return None
 
 
+def hunt_for_partner(
+    draw,
+    accepted: Dict[int, int],
+    limit: int,
+    attempts: int,
+) -> Optional[int]:
+    """Connection-limited partner search over a flat accept-count map.
+
+    The batched trial engine's counterpart of
+    :meth:`ConnectionLedger.connect_with_hunting`: ``draw()`` produces
+    candidate partners, ``accepted`` maps site -> conversations already
+    accepted this cycle, and each of the ``attempts`` tries either
+    claims a slot (returning the partner) or burns a draw hunting on.
+    Draw-for-draw identical to the ledger path, which is what keeps
+    limited-policy trials bit-equal between the two engines.
+    """
+    for __ in range(attempts):
+        candidate = draw()
+        used = accepted.get(candidate, 0)
+        if used < limit:
+            accepted[candidate] = used + 1
+            return candidate
+    return None
+
+
 class LinkCapacityLedger:
     """Per-cycle message budgets on capacity-capped links.
 

@@ -58,6 +58,20 @@ class PartnerSelector:
         raise NotImplementedError
 
 
+def uniform_partner_index(pick: int, own: int) -> int:
+    """Complete one uniform partner draw: a raw ``pick`` in
+    ``[0, n-1)`` skips over the drawing site's own index ``own``.
+
+    This two-line arithmetic is the draw contract shared between the
+    scalar :class:`UniformSelector` and the batched trial engine
+    (:mod:`repro.sim.batch`), which applies it to a whole population of
+    picks at once (``adjusted_partners`` in :mod:`repro.sim.arrays`).
+    Both consume exactly one ``randrange(n - 1)`` per draw, which is
+    what keeps their trials bit-for-bit identical.
+    """
+    return pick + 1 if pick >= own else pick
+
+
 class UniformSelector(PartnerSelector):
     """Choose uniformly among all other sites."""
 
@@ -70,10 +84,7 @@ class UniformSelector(PartnerSelector):
     def choose(self, site: int, rng) -> int:
         n = len(self._sites)
         pick = rng.randrange(n - 1)
-        own = self._index[site]
-        if pick >= own:
-            pick += 1
-        return self._sites[pick]
+        return self._sites[uniform_partner_index(pick, self._index[site])]
 
     def probability(self, site: int, partner: int) -> float:
         if partner == site or partner not in self._index:

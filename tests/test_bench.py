@@ -64,23 +64,41 @@ class TestScenarios:
         timing = _bench_table1(quick=True, runner=TrialRunner(jobs=1))
         assert timing.name == "table1"
         assert timing.wall_clock_s > 0
-        assert timing.trials == 10  # 5 ks x 2 runs
+        assert timing.trials == 20  # 5 ks x 2 runs x 2 passes
         assert timing.trials_per_s > 0
+        assert timing.detail["engine"] == "batched"
+        assert timing.detail["best_pass_s"] <= timing.detail["first_pass_s"]
 
     def test_anti_entropy_scenario(self):
         timing = _bench_anti_entropy(quick=True)
         assert timing.detail["n"] == 256
         assert timing.detail["cycles"] > 0
+        assert timing.trials == timing.detail["runs"]
 
     def test_rumor_scenario(self):
         timing = _bench_rumor(quick=True)
         assert 0.0 <= timing.detail["residue"] <= 1.0
+        assert timing.detail["best_run_s"] <= timing.detail["first_run_s"]
 
-    def test_parallel_speedup_shape(self):
+    def test_parallel_speedup_shape(self, monkeypatch):
+        import repro.experiments.bench as bench_module
+
+        monkeypatch.setattr(bench_module.os, "cpu_count", lambda: 2)
         result = measure_parallel_speedup(quick=True, jobs=1)
         assert result["serial_s"] > 0
         assert result["parallel_s"] > 0
         assert result["speedup"] > 0
+
+    def test_parallel_speedup_skipped_on_one_cpu(self, monkeypatch):
+        import repro.experiments.bench as bench_module
+
+        monkeypatch.setattr(bench_module.os, "cpu_count", lambda: 1)
+        result = measure_parallel_speedup(quick=True, jobs=4)
+        assert result["skipped"] == "1 cpu"
+        assert "speedup" not in result
+        # The skipped shape still renders in the summary.
+        lines = "\n".join(summary_lines(_report(parallel=result)))
+        assert "skipped (1 cpu)" in lines
 
     def test_exchange_hot_path_shape(self):
         result = measure_exchange_hot_path(quick=True)

@@ -48,7 +48,7 @@ class TestVersionCodec:
     def test_defaults_advertise_the_ceiling(self):
         message = Message(MessageType.PUSH, sender=0)
         assert message.version == BASE_VERSION == 1
-        assert message.max_version == PROTOCOL_VERSION == 3
+        assert message.max_version == PROTOCOL_VERSION == 4
         assert TRACE_WIRE_VERSION == 2
 
     def test_encode_writes_both_version_fields(self):
